@@ -1,0 +1,77 @@
+"""C1 — Section II-A: profile-driven program synthesis.
+
+Paper (Hsieh et al. [8]): synthesize a short program whose
+characteristic profile (instruction mix, cache miss rate, stall rate)
+matches a long application trace; RT-level simulation of the short
+trace then gives the same power with orders-of-magnitude less work
+("three to five orders of magnitude reduction ... with negligible
+estimation error").
+
+Shape: trace length shrinks by a large factor, energy-per-instruction
+error stays small, and the synthesized profile matches the original.
+Our traces are laptop-scale, so the compaction factor is tens-to-
+hundreds rather than 10^3-10^5; the mechanism (profile matching
+preserves energy density) is what is reproduced.
+"""
+
+from conftest import shape
+
+from repro.estimation.software_power import (
+    CharacteristicProfile,
+    profile_synthesis_experiment,
+    synthesize_profile_program,
+)
+from repro.software import Machine, dot_product, fir_program, \
+    random_program
+
+
+def _workloads():
+    return {
+        "dot_product": (dot_product(400), list(range(512)), 1024),
+        "fir": (fir_program([2, 3, 1, 4], 300), [k % 97 for k in
+                                                 range(512)], 3000),
+        "mixed": (random_program(6000, seed=5), None, None),
+    }
+
+
+def test_c1_profile_synthesis(once):
+    def experiment():
+        reports = {}
+        for name, (program, data, extra_base) in _workloads().items():
+            reports[name] = profile_synthesis_experiment(
+                program, synthesized_length=400, seed=3)
+        return reports
+
+    reports = once(experiment)
+
+    print()
+    print("C1 profile-driven program synthesis:")
+    print(f"  {'workload':12s} {'orig instrs':>11s} {'synth':>6s} "
+          f"{'compaction':>10s} {'EPI error':>9s}")
+    for name, r in reports.items():
+        print(f"  {name:12s} {r.original_instructions:11d} "
+              f"{r.synthesized_instructions:6d} "
+              f"{r.compaction:9.1f}x {r.epi_error:9.1%}")
+
+    for name, r in reports.items():
+        shape(f"{name}: trace much shorter", r.compaction > 4)
+        shape(f"{name}: energy/instruction error small (<= 25%)",
+              r.epi_error <= 0.25)
+
+
+def test_c1_profile_match(benchmark):
+    stats = Machine().run(random_program(4000, seed=7))
+    profile = CharacteristicProfile.from_stats(stats)
+    short = benchmark(synthesize_profile_program, profile, 400, 1)
+    short_stats = Machine().run(short)
+    long_mix = profile.instruction_mix
+    short_mix = short_stats.instruction_mix()
+    print()
+    print("  mix match (class: long vs synthesized):")
+    for klass, frac in sorted(long_mix.items()):
+        print(f"    {klass:6s}: {frac:6.3f} vs "
+              f"{short_mix.get(klass, 0.0):6.3f}")
+    for klass, frac in long_mix.items():
+        if frac > 0.05:
+            shape(f"mix of {klass} matches",
+                  abs(short_mix.get(klass, 0.0) - frac) < 0.12)

@@ -1,0 +1,120 @@
+"""C2 — Section II-B1: information-theoretic power models.
+
+Paper: average line entropy propagated from I/O entropies bounds and
+tracks switching activity (E <= h/2 under temporal independence);
+Cheng-Agrawal's C_tot = (m/n) 2^n h_out is "too pessimistic when n is
+large"; Ferrandi's BDD-node model fixes that via regression.
+
+Shape: (a) measured average activity never exceeds half the average
+line entropy; (b) both h_avg models track the reference power within a
+small factor across a circuit population; (c) Cheng-Agrawal
+overestimates real C_tot by an exploding factor as n grows while the
+fitted Ferrandi model stays within a small factor.
+"""
+
+from conftest import shape
+
+from repro.estimation.entropy import (
+    cheng_agrawal_ctot,
+    estimate_circuit_power_entropic,
+    ferrandi_ctot,
+    measured_io_entropies,
+    sequence_bit_entropy,
+)
+from repro.logic.bdd_bridge import total_bdd_nodes
+from repro.logic.generators import parity_tree, random_logic, \
+    ripple_carry_adder
+from repro.logic.simulate import collect_activity, output_trace, \
+    random_vectors, simulate
+
+
+def _population():
+    circuits = [random_logic(5, 10 + 5 * k, 3, seed=k) for k in range(6)]
+    circuits.append(ripple_carry_adder(3))
+    circuits.append(parity_tree(6))
+    return circuits
+
+
+def test_c2_entropy_models(once):
+    def experiment():
+        rows = []
+        for circuit in _population():
+            vectors = random_vectors(circuit.inputs, 400, seed=13)
+            reference = collect_activity(circuit, vectors).average_power()
+            marc = estimate_circuit_power_entropic(circuit, vectors,
+                                                   model="marculescu")
+            nn = estimate_circuit_power_entropic(circuit, vectors,
+                                                 model="nemani-najm")
+            rows.append((circuit.name, reference, marc, nn))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print("C2 entropic power estimates vs gate-level reference:")
+    print(f"  {'circuit':22s} {'reference':>10s} {'marculescu':>11s} "
+          f"{'nemani-najm':>12s}")
+    for name, ref, marc, nn in rows:
+        print(f"  {name:22s} {ref:10.2f} {marc:11.2f} {nn:12.2f}")
+
+    for name, ref, marc, nn in rows:
+        shape(f"{name}: Marculescu within 5x", 0.2 * ref < marc < 5 * ref)
+        shape(f"{name}: Nemani-Najm within 5x", 0.2 * ref < nn < 5 * ref)
+
+
+def test_c2_activity_entropy_bound(benchmark):
+    """E <= h/2 per net, measured."""
+    from repro.estimation.entropy import entropy_of_probability
+
+    circuit = ripple_carry_adder(4)
+    vectors = random_vectors(circuit.inputs, 1200, seed=17)
+
+    def measure():
+        report = collect_activity(circuit, vectors)
+        trace = simulate(circuit, vectors)
+        violations = 0
+        for net in circuit.nets:
+            p = sum(v[net] for v in trace) / len(trace)
+            if report.activity(net) > 0.5 * entropy_of_probability(p) \
+                    + 0.05:
+                violations += 1
+        return violations
+
+    violations = benchmark(measure)
+    shape("activity bounded by half the entropy on every net",
+          violations == 0)
+
+
+def test_c2_capacitance_models(once):
+    def experiment():
+        circuits = [random_logic(n, 6 * n, 3, seed=n)
+                    for n in (4, 6, 8, 10, 12, 14)]
+        model = ferrandi_ctot(circuits, training_vectors=100)
+        rows = []
+        for circuit in circuits:
+            n, m = len(circuit.inputs), len(circuit.outputs)
+            vectors = random_vectors(circuit.inputs, 100, seed=0)
+            outs = output_trace(circuit, vectors)
+            h_out = sequence_bit_entropy(outs, circuit.outputs)
+            truth = circuit.total_capacitance()
+            cheng = cheng_agrawal_ctot(n, m, h_out)
+            ferr = model.predict(n, m, total_bdd_nodes(circuit), h_out)
+            rows.append((n, truth, cheng, ferr))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print("C2 total-capacitance models:")
+    print(f"  {'n':>3s} {'true C_tot':>10s} {'Cheng-Agrawal':>13s} "
+          f"{'Ferrandi':>9s}")
+    for n, truth, cheng, ferr in rows:
+        print(f"  {n:3d} {truth:10.1f} {cheng:13.1f} {ferr:9.1f}")
+
+    small_ratio = rows[0][2] / rows[0][1]
+    large_ratio = rows[-1][2] / rows[-1][1]
+    shape("Cheng-Agrawal pessimism explodes with n",
+          large_ratio > 10 * small_ratio)
+    shape("Cheng-Agrawal overshoots the real capacitance at large n",
+          rows[-1][2] > 2.0 * rows[-1][1])
+    for n, truth, _cheng, ferr in rows:
+        shape(f"Ferrandi stays within 2.5x at n={n}",
+              0.4 * truth < ferr < 2.5 * truth)

@@ -1,0 +1,64 @@
+"""C3 — Section II-B1: Tyagi's entropic bound on FSM switching.
+
+Paper ([13]): for a sparse FSM, the expected Hamming switching of the
+state lines under *any* encoding is lower bounded by
+h(p_ij) - 1.52 log T - 2.16 + 0.5 log log T.
+
+Shape: the bound (clamped at 0, since it is asymptotic and can go
+negative for small machines) never exceeds the measured switching of
+any encoding — binary, Gray, one-hot, random, or the annealed
+low-power assignment — across the whole benchmark suite and random
+machines.
+"""
+
+from conftest import shape
+
+from repro.estimation.tyagi import (
+    expected_hamming_switching,
+    is_sparse,
+    tyagi_lower_bound,
+)
+from repro.fsm import (
+    benchmark_names,
+    benchmark as fsm_benchmark,
+    binary_encoding,
+    gray_encoding,
+    low_power_encoding,
+    one_hot_encoding,
+    random_encoding,
+)
+from repro.fsm.kiss import random_stg
+
+
+def test_c3_tyagi_bound(once):
+    def experiment():
+        machines = [fsm_benchmark(n) for n in benchmark_names()]
+        machines += [random_stg(8, 2, 1, seed=s) for s in range(3)]
+        rows = []
+        for stg in machines:
+            bound = max(0.0, tyagi_lower_bound(stg))
+            encodings = [binary_encoding(stg), gray_encoding(stg),
+                         one_hot_encoding(stg),
+                         low_power_encoding(stg, seed=1,
+                                            anneal_steps=1500)]
+            encodings += [random_encoding(stg, seed=s,
+                                          n_bits=stg.n_states)
+                          for s in range(3)]
+            measured = [expected_hamming_switching(stg, e)
+                        for e in encodings]
+            rows.append((stg.name, stg.n_states, is_sparse(stg), bound,
+                         min(measured), max(measured)))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print("C3 Tyagi bound vs measured switching (bits/cycle):")
+    print(f"  {'fsm':12s} {'T':>3s} {'sparse':>6s} {'bound':>7s} "
+          f"{'best enc':>9s} {'worst enc':>9s}")
+    for name, t, sparse, bound, lo, hi in rows:
+        print(f"  {name:12s} {t:3d} {str(sparse):>6s} {bound:7.3f} "
+              f"{lo:9.3f} {hi:9.3f}")
+
+    for name, _t, _sparse, bound, lo, _hi in rows:
+        shape(f"{name}: bound below every encoding's switching",
+              lo >= bound - 1e-9)

@@ -1,0 +1,90 @@
+"""C4 — Section II-B2: complexity-based area/power models.
+
+Paper: (a) Nemani-Najm's linear measure over essential prime sizes
+predicts optimized area through an exponential regression; (b) the
+Landman-Rabaey controller model
+P = 0.5 V^2 f (N_I C_I E_I + N_O C_O E_O) N_M fits measured
+controller power once C_I/C_O are calibrated on a design population.
+
+Shape: the area regression has positive exponent (more complex
+functions synthesize bigger) and usable accuracy on its own
+population; the fitted FSM model tracks measured controller power
+within tens of percent on average.
+"""
+
+import random
+
+from conftest import shape
+
+from repro.estimation.complexity import (
+    area_complexity,
+    fit_landman_rabaey,
+    landman_rabaey_features,
+    nemani_najm_area_model,
+)
+from repro.fsm import benchmark_names, benchmark as fsm_benchmark, \
+    binary_encoding
+from repro.logic.synthesis import synthesize_function
+
+
+def test_c4_area_complexity_regression(once):
+    def experiment():
+        rng = random.Random(23)
+        samples = []
+        for _k in range(14):
+            density = rng.choice([0.15, 0.3, 0.45, 0.6, 0.75])
+            onset = [m for m in range(16) if rng.random() < density]
+            if not onset or len(onset) == 16:
+                continue
+            complexity = area_complexity(4, onset)
+            area = synthesize_function(4, onset).area()
+            samples.append((complexity, area))
+        model = nemani_najm_area_model(samples)
+        ratios = [model.predict(c) / a for c, a in samples]
+        return samples, model, ratios
+
+    samples, model, ratios = once(experiment)
+    print()
+    print(f"C4 Nemani-Najm area model: area = {model.a:.2f} * "
+          f"exp({model.b:.2f} * C(f))  over {len(samples)} functions")
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"  mean predicted/actual ratio: {mean_ratio:.2f}")
+
+    shape("area grows with the linear measure (b > 0)", model.b > 0)
+    shape("regression centered (mean ratio within [0.5, 2])",
+          0.5 < mean_ratio < 2.0)
+    shape("complexity orders area: most complex > least complex",
+          max(samples)[1] >= min(samples)[1])
+
+
+def test_c4_landman_rabaey_controller_model(once):
+    def experiment():
+        names = [n for n in benchmark_names()]
+        samples = []
+        for name in names:
+            stg = fsm_benchmark(name)
+            samples.append(landman_rabaey_features(
+                stg, binary_encoding(stg), cycles=200))
+        model = fit_landman_rabaey(samples)
+        errors = []
+        for s in samples:
+            predicted = model.predict(s["n_in"], s["n_out"], s["e_in"],
+                                      s["e_out"], s["n_minterms"])
+            errors.append(abs(predicted - s["measured_power"])
+                          / s["measured_power"])
+        return names, samples, model, errors
+
+    names, samples, model, errors = once(experiment)
+    print()
+    print(f"C4 Landman-Rabaey controller fit: C_I = {model.c_in:.3f}, "
+          f"C_O = {model.c_out:.3f}")
+    print(f"  {'fsm':12s} {'N_M':>4s} {'measured':>9s} {'error':>7s}")
+    for name, s, err in zip(names, samples, errors):
+        print(f"  {name:12s} {s['n_minterms']:4.0f} "
+              f"{s['measured_power']:9.3f} {err:7.1%}")
+    print(f"  mean error: {sum(errors) / len(errors):.1%}")
+
+    shape("fit is usable (mean error < 50%)",
+          sum(errors) / len(errors) < 0.5)
+    shape("capacitance coefficients positive",
+          model.c_in > 0 or model.c_out > 0)

@@ -1,0 +1,146 @@
+"""C5 — Section II-C1: the macro-model accuracy ladder.
+
+Paper: PFA (constant) < DBT (sign-aware) / bitwise < input-output /
+3D-table in accuracy; cycle-accurate statistical models with ~8
+selected variables reach 5-10% average-power error and 10-20%
+cycle-power error ([44], [45]).
+
+Shape: on correlated (speech-like) data the data-blind PFA model errs
+worst; activity-sensitive models cut the error substantially; the
+F-test cycle model selects few variables and lands in the paper's
+error range on random data; cycle error exceeds average error.
+"""
+
+from conftest import shape
+
+from repro.estimation.macromodel import (
+    BitwiseModel,
+    CycleAccurateModel,
+    DualBitTypeModel,
+    InputOutputModel,
+    PfaModel,
+    Table3DModel,
+    characterization_streams,
+    fit_macromodel,
+)
+from repro.rtl.components import make_component
+from repro.rtl.streams import correlated_stream, random_stream
+
+
+def _evaluation_suite(width):
+    return {
+        "random": [random_stream(width, 250, seed=91),
+                   random_stream(width, 250, seed=92)],
+        "correlated": [correlated_stream(width, 250, rho=0.95, seed=93),
+                       correlated_stream(width, 250, rho=0.95, seed=94)],
+        "biased": [random_stream(width, 250, seed=95, bit_prob=0.85),
+                   random_stream(width, 250, seed=96, bit_prob=0.85)],
+    }
+
+
+def test_c5_macromodel_ladder(once):
+    def experiment():
+        width = 6
+        component = make_component("mult", width)
+        training = characterization_streams(component, runs=24,
+                                            length=100, seed=29)
+        models = {
+            "pfa": fit_macromodel(PfaModel(), component, training),
+            "dbt": fit_macromodel(DualBitTypeModel(), component,
+                                  training),
+            "bitwise": fit_macromodel(BitwiseModel(), component,
+                                      training),
+            "input-output": fit_macromodel(InputOutputModel(),
+                                           component, training),
+            "table3d": fit_macromodel(Table3DModel(bins=4), component,
+                                      training),
+        }
+        suite = _evaluation_suite(width)
+        errors = {name: {} for name in models}
+        for sname, streams in suite.items():
+            for mname, model in models.items():
+                errors[mname][sname] = model.error(component, streams)
+        return errors
+
+    errors = once(experiment)
+    print()
+    print("C5 macro-model relative errors (6-bit multiplier):")
+    streams = ["random", "correlated", "biased"]
+    print(f"  {'model':14s}" + "".join(f" {s:>11s}" for s in streams)
+          + f" {'mean':>8s}")
+    means = {}
+    for mname, per_stream in errors.items():
+        mean = sum(per_stream.values()) / len(per_stream)
+        means[mname] = mean
+        print(f"  {mname:14s}"
+              + "".join(f" {per_stream[s]:11.1%}" for s in streams)
+              + f" {mean:8.1%}")
+
+    shape("PFA is the worst model overall",
+          means["pfa"] == max(means.values()))
+    shape("an activity-sensitive model at least halves PFA's error",
+          min(means["bitwise"], means["dbt"], means["input-output"],
+              means["table3d"]) < 0.5 * means["pfa"])
+    shape("PFA collapses on correlated data (its blind spot)",
+          errors["pfa"]["correlated"] ==
+          max(e["correlated"] for e in errors.values()))
+
+
+def test_c5_cycle_accurate_model(once):
+    def experiment():
+        width = 5
+        component = make_component("add", width)
+        training = characterization_streams(component, runs=20,
+                                            length=120, seed=31)
+        model = CycleAccurateModel(max_variables=8)
+        model.fit(component, training)
+        streams = [random_stream(width, 300, seed=97),
+                   random_stream(width, 300, seed=98)]
+        return (model.selected,
+                model.error(component, streams),
+                model.cycle_error(component, streams))
+
+    selected, avg_error, cyc_error = once(experiment)
+    print()
+    print(f"C5 cycle-accurate model: {len(selected)} variables "
+          f"selected ({selected})")
+    print(f"  average-power error : {avg_error:6.1%}  "
+          f"(paper: 5-10%)")
+    print(f"  cycle-power RMS err : {cyc_error:6.1%}  "
+          f"(paper: 10-20%)")
+
+    shape("few variables selected (<= 8)", len(selected) <= 8)
+    shape("average error in/near the paper's band (< 15%)",
+          avg_error < 0.15)
+    shape("cycle error in a usable band (< 40%)", cyc_error < 0.40)
+    shape("cycle error exceeds average error", cyc_error > avg_error)
+
+
+def test_c5_ftest_threshold_ablation(once):
+    """DESIGN.md ablation: the F-test threshold trades variables for
+    accuracy."""
+
+    def experiment():
+        width = 5
+        component = make_component("add", width)
+        training = characterization_streams(component, runs=16,
+                                            length=100, seed=37)
+        rows = []
+        for threshold in (2.0, 8.0, 64.0):
+            model = CycleAccurateModel(max_variables=12,
+                                       f_threshold=threshold)
+            model.fit(component, training)
+            streams = [random_stream(width, 200, seed=99),
+                       random_stream(width, 200, seed=100)]
+            rows.append((threshold, len(model.selected),
+                         model.error(component, streams)))
+        return rows
+
+    rows = once(experiment)
+    print()
+    print("C5 ablation: F-test threshold vs selected variables:")
+    for threshold, n_vars, err in rows:
+        print(f"  F* = {threshold:5.1f}: {n_vars:2d} variables, "
+              f"error {err:6.1%}")
+    shape("stricter threshold selects fewer variables",
+          rows[0][1] >= rows[-1][1])

@@ -1,0 +1,79 @@
+"""C7 — Section III-B: predictive shutdown.
+
+Paper (Srivastava et al. [58], on an X-server workload): predictive
+policies reach power improvements "as high as 38x, with a very
+limited decrease in performance (around 3%)"; Hwang-Wu [59] improves
+further with misprediction correction and pre-wakeup.
+
+Shape: on a strongly idle-dominated workload, predictive policies
+(regression, short-T_A heuristic, exponential average) beat the static
+timeout; improvements reach tens of times; the latency penalty of the
+pre-wakeup policy stays around the paper's few percent; Hwang-Wu's
+pre-wakeup beats the same policy without it on latency.
+"""
+
+from conftest import shape
+
+from repro.optimization.shutdown import (
+    AlwaysOnPolicy,
+    HwangWuPolicy,
+    OraclePolicy,
+    SrivastavaHeuristicPolicy,
+    SrivastavaRegressionPolicy,
+    StaticTimeoutPolicy,
+    breakeven_time,
+    generate_workload,
+    simulate_policy,
+)
+
+
+def test_c7_predictive_shutdown(once):
+    def experiment():
+        # X-server-like: long quiescence between short bursts.
+        workload = generate_workload(n_periods=500, seed=61,
+                                     mean_active=4.0, mean_idle=400.0,
+                                     idle_tail=1.8)
+        be = breakeven_time()
+        policies = {
+            "always-on": AlwaysOnPolicy(),
+            "static(2xBE)": StaticTimeoutPolicy(2 * be),
+            "heuristic": SrivastavaHeuristicPolicy(),
+            "regression": SrivastavaRegressionPolicy(be),
+            "hwang-wu": HwangWuPolicy(be),
+            "hwang-wu (no prewake)": HwangWuPolicy(be, prewakeup=False),
+            "oracle": OraclePolicy(be),
+        }
+        reports = {name: simulate_policy(workload, p)
+                   for name, p in policies.items()}
+        return workload, reports
+
+    workload, reports = once(experiment)
+    print()
+    bound = workload.shutdown_upper_bound()
+    print(f"C7 predictive shutdown (T_I/T_A = "
+          f"{workload.total_idle / workload.total_active:.0f}, "
+          f"upper bound {bound:.0f}x):")
+    print(f"  {'policy':22s} {'improvement':>11s} {'latency':>9s} "
+          f"{'mispred':>8s}")
+    for name, r in reports.items():
+        print(f"  {name:22s} {r.improvement:10.1f}x "
+              f"{r.latency_penalty:8.2%} {r.mispredictions:8d}")
+
+    static = reports["static(2xBE)"]
+    shape("regression beats static",
+          reports["regression"].improvement > static.improvement)
+    shape("hwang-wu beats static",
+          reports["hwang-wu"].improvement > static.improvement)
+    shape("predictive improvement reaches tens of times",
+          reports["hwang-wu"].improvement > 10.0)
+    shape("latency penalty limited (around the paper's ~3%)",
+          reports["hwang-wu"].latency_penalty < 0.06)
+    shape("pre-wakeup reduces the latency penalty",
+          reports["hwang-wu"].latency_penalty
+          <= reports["hwang-wu (no prewake)"].latency_penalty)
+    shape("oracle bounds every policy",
+          all(reports["oracle"].improvement >= r.improvement - 1e-9
+              for r in reports.values()))
+    shape("improvements respect the theoretical bound",
+          all(r.improvement <= bound + 1e-9
+              for r in reports.values()))

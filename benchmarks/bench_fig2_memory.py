@@ -1,0 +1,46 @@
+"""F2 — Fig. 2: memory-access minimization by scalarizing an
+intermediate array.
+
+Paper: keeping b[i] in a register removes the 2n read/write accesses
+of the intermediate array, cutting memory traffic and its energy.
+
+Shape: same results, memory accesses drop from 4n to 2n (the b-array
+round trip disappears), and total energy drops substantially because
+memory/cache energy dominates this kernel.
+"""
+
+from conftest import shape
+
+from repro.software import Machine, memory_optimized, memory_unoptimized
+
+
+def _run_both(n):
+    data = [k * 7 % 101 for k in range(n)]
+    m1 = Machine()
+    m1.load_memory(0, data)
+    s1 = m1.run(memory_unoptimized(n))
+    m2 = Machine()
+    m2.load_memory(0, data)
+    s2 = m2.run(memory_optimized(n))
+    return m1, s1, m2, s2
+
+
+def test_fig2_memory_optimization(benchmark):
+    n = 128
+    m1, s1, m2, s2 = benchmark(_run_both, n)
+
+    print()
+    print(f"Fig. 2 (n = {n}):")
+    print(f"  b[] through memory : {s1.cache_accesses:5d} accesses, "
+          f"{s1.cache_misses:3d} misses, energy {s1.energy:9.1f}")
+    print(f"  b in a register    : {s2.cache_accesses:5d} accesses, "
+          f"{s2.cache_misses:3d} misses, energy {s2.energy:9.1f}  "
+          f"({1 - s2.energy / s1.energy:.1%} saved)")
+
+    shape("results identical",
+          m1.memory[2048:2048 + n] == m2.memory[2048:2048 + n])
+    shape("unoptimized does 4n accesses", s1.cache_accesses == 4 * n)
+    shape("optimized does 2n accesses", s2.cache_accesses == 2 * n)
+    shape("optimized saves energy", s2.energy < s1.energy)
+    shape("saving is substantial (> 25%)",
+          s2.energy < 0.75 * s1.energy)

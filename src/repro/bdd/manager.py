@@ -1,0 +1,523 @@
+"""ROBDD manager with unique/computed tables.
+
+The implementation follows Bryant's classic formulation: nodes are
+triples ``(level, low, high)`` hash-consed in a unique table, and all
+Boolean operations are reduced to the if-then-else operator ``ite``
+memoized in a computed table.  Complement edges are deliberately not
+used; clarity and debuggability win over the constant-factor saving.
+
+Node identity is an integer index into the manager's node array, so
+BDD equality is integer equality (canonical form).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class BddNode:
+    """Internal BDD node: decision variable level plus two children."""
+
+    __slots__ = ("level", "low", "high")
+
+    def __init__(self, level: int, low: int, high: int) -> None:
+        self.level = level
+        self.low = low
+        self.high = high
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BddNode(level={self.level}, low={self.low}, high={self.high})"
+
+
+# Terminal node ids.
+FALSE = 0
+TRUE = 1
+_TERMINAL_LEVEL = 1 << 30
+
+
+class Bdd:
+    """Handle to a BDD function: a (manager, root-id) pair.
+
+    Supports the Boolean operators ``&``, ``|``, ``^``, ``~`` and the
+    comparison ``==`` (canonical, O(1)).  All heavy lifting is delegated
+    to the owning :class:`BddManager`.
+    """
+
+    __slots__ = ("manager", "root")
+
+    def __init__(self, manager: "BddManager", root: int) -> None:
+        self.manager = manager
+        self.root = root
+
+    def _check(self, other: "Bdd") -> None:
+        if self.manager is not other.manager:
+            raise ValueError("cannot combine BDDs from different managers")
+
+    def __and__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return Bdd(self.manager, self.manager.apply_and(self.root, other.root))
+
+    def __or__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return Bdd(self.manager, self.manager.apply_or(self.root, other.root))
+
+    def __xor__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return Bdd(self.manager, self.manager.apply_xor(self.root, other.root))
+
+    def __invert__(self) -> "Bdd":
+        return Bdd(self.manager, self.manager.apply_not(self.root))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bdd)
+            and self.manager is other.manager
+            and self.root == other.root
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.root))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Bdd truth value is ambiguous; use .is_true()/.is_false() "
+            "or compare with ==")
+
+    def is_true(self) -> bool:
+        return self.root == TRUE
+
+    def is_false(self) -> bool:
+        return self.root == FALSE
+
+    def ite(self, then_f: "Bdd", else_f: "Bdd") -> "Bdd":
+        self._check(then_f)
+        self._check(else_f)
+        return Bdd(
+            self.manager,
+            self.manager.ite(self.root, then_f.root, else_f.root))
+
+    def implies(self, other: "Bdd") -> "Bdd":
+        return ~self | other
+
+    def iff(self, other: "Bdd") -> "Bdd":
+        return ~(self ^ other)
+
+    def restrict(self, assignment: Dict[str, bool]) -> "Bdd":
+        """Cofactor with respect to a partial variable assignment."""
+        return Bdd(self.manager, self.manager.restrict(self.root, assignment))
+
+    def compose(self, name: str, g: "Bdd") -> "Bdd":
+        """Substitute function ``g`` for variable ``name``."""
+        self._check(g)
+        return Bdd(self.manager, self.manager.compose(self.root, name, g.root))
+
+    def exists(self, names: Iterable[str]) -> "Bdd":
+        return Bdd(self.manager, self.manager.exists(self.root, names))
+
+    def forall(self, names: Iterable[str]) -> "Bdd":
+        return Bdd(self.manager, self.manager.forall(self.root, names))
+
+    def support(self) -> List[str]:
+        return self.manager.support(self.root)
+
+    def node_count(self) -> int:
+        return self.manager.node_count(self.root)
+
+    def sat_count(self, over: Optional[Sequence[str]] = None) -> int:
+        return self.manager.sat_count(self.root, over)
+
+    def probability(self, var_probs: Optional[Dict[str, float]] = None) -> float:
+        return self.manager.probability(self.root, var_probs)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return self.manager.evaluate(self.root, assignment)
+
+    def satisfy_one(self) -> Optional[Dict[str, bool]]:
+        return self.manager.satisfy_one(self.root)
+
+    def satisfy_all(self) -> Iterator[Dict[str, bool]]:
+        return self.manager.satisfy_all(self.root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bdd(root={self.root}, nodes={self.node_count()})"
+
+
+class BddManager:
+    """Owner of the node store, unique table, and computed table.
+
+    Variables are ordered by registration order (``var`` assigns the next
+    level); an explicit order can be fixed up-front with
+    :meth:`declare`.
+    """
+
+    def __init__(self) -> None:
+        # Nodes 0 and 1 are the terminals; give them a level below all
+        # variables so cofactor logic never descends into them.
+        self._nodes: List[BddNode] = [
+            BddNode(_TERMINAL_LEVEL, FALSE, FALSE),
+            BddNode(_TERMINAL_LEVEL, TRUE, TRUE),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_levels: Dict[str, int] = {}
+        self._level_vars: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Variable handling
+    # ------------------------------------------------------------------
+    def declare(self, *names: str) -> List[Bdd]:
+        """Register variables in the given order; return their BDDs."""
+        return [self.var(n) for n in names]
+
+    def var(self, name: str) -> Bdd:
+        """Return the BDD for a single variable, registering it if new."""
+        if name not in self._var_levels:
+            self._var_levels[name] = len(self._level_vars)
+            self._level_vars.append(name)
+        level = self._var_levels[name]
+        return Bdd(self, self._mk(level, FALSE, TRUE))
+
+    def nvar(self, name: str) -> Bdd:
+        """Negated variable (convenience)."""
+        return ~self.var(name)
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._level_vars)
+
+    def level_of(self, name: str) -> int:
+        return self._var_levels[name]
+
+    @property
+    def true(self) -> Bdd:
+        return Bdd(self, TRUE)
+
+    @property
+    def false(self) -> Bdd:
+        return Bdd(self, FALSE)
+
+    def size(self) -> int:
+        """Total number of live nodes in the manager (incl. terminals)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node_id = self._unique.get(key)
+        if node_id is None:
+            node_id = len(self._nodes)
+            self._nodes.append(BddNode(level, low, high))
+            self._unique[key] = node_id
+        return node_id
+
+    def _node(self, node_id: int) -> BddNode:
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Core operation: ite
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        # Terminal cases.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+
+        top = min(self._nodes[f].level, self._nodes[g].level,
+                  self._nodes[h].level)
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node_id: int, level: int) -> Tuple[int, int]:
+        node = self._nodes[node_id]
+        if node.level == level:
+            return node.low, node.high
+        return node_id, node_id
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def restrict(self, f: int, assignment: Dict[str, bool]) -> int:
+        by_level = {self._var_levels[n]: v for n, v in assignment.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(node_id: int) -> int:
+            if node_id <= TRUE:
+                return node_id
+            hit = cache.get(node_id)
+            if hit is not None:
+                return hit
+            node = self._nodes[node_id]
+            if node.level in by_level:
+                result = walk(node.high if by_level[node.level] else node.low)
+            else:
+                result = self._mk(node.level, walk(node.low), walk(node.high))
+            cache[node_id] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        level = self._var_levels[name]
+        cache: Dict[int, int] = {}
+
+        def walk(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node_id <= TRUE or node.level > level:
+                return node_id
+            hit = cache.get(node_id)
+            if hit is not None:
+                return hit
+            if node.level == level:
+                result = self.ite(g, node.high, node.low)
+            else:
+                low = walk(node.low)
+                high = walk(node.high)
+                # Children may now depend on variables above node.level,
+                # so rebuild with ite on the decision variable.
+                var_id = self._mk(node.level, FALSE, TRUE)
+                result = self.ite(var_id, high, low)
+            cache[node_id] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        levels = frozenset(self._var_levels[n] for n in names)
+        if not levels:
+            return f
+        cache: Dict[int, int] = {}
+
+        def walk(node_id: int) -> int:
+            if node_id <= TRUE:
+                return node_id
+            hit = cache.get(node_id)
+            if hit is not None:
+                return hit
+            node = self._nodes[node_id]
+            low = walk(node.low)
+            high = walk(node.high)
+            if node.level in levels:
+                result = self.apply_or(low, high)
+            else:
+                result = self._mk(node.level, low, high)
+            cache[node_id] = result
+            return result
+
+        return walk(f)
+
+    def forall(self, f: int, names: Iterable[str]) -> int:
+        return self.apply_not(self.exists(self.apply_not(f), names))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> List[str]:
+        seen = set()
+        levels = set()
+        stack = [f]
+        while stack:
+            node_id = stack.pop()
+            if node_id <= TRUE or node_id in seen:
+                continue
+            seen.add(node_id)
+            node = self._nodes[node_id]
+            levels.add(node.level)
+            stack.append(node.low)
+            stack.append(node.high)
+        return [self._level_vars[lvl] for lvl in sorted(levels)]
+
+    def node_count(self, f: int) -> int:
+        """Number of internal (non-terminal) nodes reachable from ``f``."""
+        seen = set()
+        stack = [f]
+        count = 0
+        while stack:
+            node_id = stack.pop()
+            if node_id <= TRUE or node_id in seen:
+                continue
+            seen.add(node_id)
+            count += 1
+            node = self._nodes[node_id]
+            stack.append(node.low)
+            stack.append(node.high)
+        return count
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        node_id = f
+        while node_id > TRUE:
+            node = self._nodes[node_id]
+            name = self._level_vars[node.level]
+            node_id = node.high if assignment[name] else node.low
+        return node_id == TRUE
+
+    def sat_count(self, f: int, over: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments over the variable set ``over``.
+
+        ``over`` defaults to all registered variables.  It must contain
+        the support of ``f``.
+        """
+        if over is None:
+            over = self._level_vars
+        levels = sorted(self._var_levels[n] for n in over)
+        index = {lvl: i for i, lvl in enumerate(levels)}
+        n = len(levels)
+        cache: Dict[int, int] = {}
+
+        def walk(node_id: int) -> int:
+            # Returns count over variables strictly below the node's level
+            # position; caller scales for skipped levels.
+            if node_id == FALSE:
+                return 0
+            if node_id == TRUE:
+                return 1
+            hit = cache.get(node_id)
+            if hit is None:
+                node = self._nodes[node_id]
+                pos = index[node.level]
+                low = walk(node.low) * (1 << self._skipped(node.low, pos, index, n))
+                high = walk(node.high) * (1 << self._skipped(node.high, pos, index, n))
+                hit = low + high
+                cache[node_id] = hit
+            return hit
+
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << n
+        root_pos = index[self._nodes[f].level]
+        return walk(f) << root_pos
+
+    def _skipped(self, child: int, parent_pos: int,
+                 index: Dict[int, int], n: int) -> int:
+        if child <= TRUE:
+            child_pos = n
+        else:
+            child_pos = index[self._nodes[child].level]
+        return child_pos - parent_pos - 1
+
+    def probability(self, f: int,
+                    var_probs: Optional[Dict[str, float]] = None) -> float:
+        """Probability that ``f`` evaluates true under independent inputs.
+
+        ``var_probs`` maps each variable name to its probability of being
+        1; unspecified variables default to 0.5.  This is the standard
+        BDD signal-probability computation used by probabilistic power
+        estimators [27]-[31].
+        """
+        probs = var_probs or {}
+        cache: Dict[int, float] = {FALSE: 0.0, TRUE: 1.0}
+
+        def walk(node_id: int) -> float:
+            hit = cache.get(node_id)
+            if hit is not None:
+                return hit
+            node = self._nodes[node_id]
+            p = probs.get(self._level_vars[node.level], 0.5)
+            result = (1.0 - p) * walk(node.low) + p * walk(node.high)
+            cache[node_id] = result
+            return result
+
+        return walk(f)
+
+    def satisfy_one(self, f: int) -> Optional[Dict[str, bool]]:
+        if f == FALSE:
+            return None
+        assignment: Dict[str, bool] = {}
+        node_id = f
+        while node_id > TRUE:
+            node = self._nodes[node_id]
+            name = self._level_vars[node.level]
+            if node.high != FALSE:
+                assignment[name] = True
+                node_id = node.high
+            else:
+                assignment[name] = False
+                node_id = node.low
+        return assignment
+
+    def satisfy_all(self, f: int) -> Iterator[Dict[str, bool]]:
+        """Yield all satisfying assignments (over support variables only)."""
+
+        def walk(node_id: int, partial: Dict[str, bool]
+                 ) -> Iterator[Dict[str, bool]]:
+            if node_id == FALSE:
+                return
+            if node_id == TRUE:
+                yield dict(partial)
+                return
+            node = self._nodes[node_id]
+            name = self._level_vars[node.level]
+            partial[name] = False
+            yield from walk(node.low, partial)
+            partial[name] = True
+            yield from walk(node.high, partial)
+            del partial[name]
+
+        yield from walk(f, {})
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def from_truth_table(self, names: Sequence[str],
+                         minterms: Iterable[int]) -> Bdd:
+        """Build the function whose on-set is ``minterms``.
+
+        Bit i of a minterm corresponds to ``names[i]`` (names[0] is the
+        least-significant bit).
+        """
+        result = FALSE
+        for m in minterms:
+            cube = TRUE
+            for i, name in enumerate(names):
+                v = self._mk(self._register(name), FALSE, TRUE)
+                lit = v if (m >> i) & 1 else self.apply_not(v)
+                cube = self.apply_and(cube, lit)
+            result = self.apply_or(result, cube)
+        return Bdd(self, result)
+
+    def _register(self, name: str) -> int:
+        if name not in self._var_levels:
+            self._var_levels[name] = len(self._level_vars)
+            self._level_vars.append(name)
+        return self._var_levels[name]
+
+    def cube(self, assignment: Dict[str, bool]) -> Bdd:
+        """Conjunction of literals given by ``assignment``."""
+        result = TRUE
+        for name, value in assignment.items():
+            v = self.var(name).root
+            lit = v if value else self.apply_not(v)
+            result = self.apply_and(result, lit)
+        return Bdd(self, result)

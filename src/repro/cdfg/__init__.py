@@ -1,0 +1,27 @@
+"""Control-data-flow graphs and high-level synthesis machinery.
+
+- :mod:`repro.cdfg.graph`      -- the CDFG model (operation DAG with
+  inputs, constants, muxes, and named outputs),
+- :mod:`repro.cdfg.transforms` -- behavioral transformations of
+  Section III-C (Horner restructuring, strength reduction, constant
+  multiplication to shift/add),
+- :mod:`repro.cdfg.schedule`   -- ASAP / ALAP / resource-constrained
+  list scheduling (Section III-D's baseline algorithms),
+- :mod:`repro.cdfg.library`    -- characterized module library with
+  per-voltage energy/delay curves (the RTL library of Section III-F).
+"""
+
+from repro.cdfg.graph import Cdfg, CdfgNode
+from repro.cdfg.schedule import Schedule, asap, alap, list_schedule
+from repro.cdfg.library import ModuleLibrary, EnergyDelayPoint
+
+__all__ = [
+    "Cdfg",
+    "CdfgNode",
+    "Schedule",
+    "asap",
+    "alap",
+    "list_schedule",
+    "ModuleLibrary",
+    "EnergyDelayPoint",
+]

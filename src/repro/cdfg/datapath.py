@@ -1,0 +1,301 @@
+"""Datapath + controller synthesis: scheduled CDFG to a gate netlist.
+
+The missing middle of the paper's Fig. 1 flow: after scheduling
+(Section III-D) and allocation/binding (Section III-E), "the output of
+the high-level synthesis phase is an RT-level description consisting
+of a (possibly partitioned) control unit and some computing units".
+This module builds that description as a *real sequential gate
+netlist* so the whole flow can be closed against the framework's
+gate-level reference power:
+
+- one functional unit per (kind, binding index), instantiated from the
+  characterized gate-level component library,
+- word-level steering muxes at each FU port selecting the operand for
+  the current control step,
+- registers from the register allocation, implemented as load-enable
+  flop banks (clock-gated when not written — the RT-level power
+  management of Section III-I falls out of the architecture),
+- a one-hot ring-counter controller issuing the step lines.
+
+Execution protocol: primary input words are held stable for one
+iteration (``latency`` clock cycles); each output is read from its
+register during the iteration's final cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import Cdfg, CdfgNode
+from repro.cdfg.schedule import Schedule
+from repro.logic.netlist import Circuit
+from repro.logic.synthesis import reduce_tree
+from repro.rtl.components import make_component
+
+
+@dataclass
+class DatapathDesign:
+    """The synthesized implementation and its interface."""
+
+    circuit: Circuit
+    cdfg: Cdfg
+    latency: int
+    width: int
+    input_buses: Dict[str, List[str]]      # cdfg input name -> nets
+    output_registers: Dict[str, List[str]]  # cdfg output name -> Q nets
+
+    def run(self, input_words: Dict[str, int],
+            state: Optional[Dict[str, int]] = None
+            ) -> Tuple[Dict[str, int], Dict[str, int], float]:
+        """Execute one iteration; returns (outputs, state, energy).
+
+        Inputs are held for ``latency`` cycles; outputs are sampled in
+        the final cycle.  Energy is the switched capacitance (x 0.5)
+        accumulated over the iteration, including gated clocks.
+        """
+        from repro.logic.simulate import collect_activity
+
+        mask = (1 << self.width) - 1
+        vec: Dict[str, int] = {}
+        for name, nets in self.input_buses.items():
+            word = input_words[name] & mask
+            for i, net in enumerate(nets):
+                vec[net] = (word >> i) & 1
+        vectors = [dict(vec) for _ in range(self.latency)]
+        report = collect_activity(self.circuit, vectors,
+                                  initial_state=state)
+        from repro.logic.simulate import next_state, simulate
+
+        trace = simulate(self.circuit, vectors, initial_state=state)
+        final = trace[-1]
+        new_state = next_state(self.circuit, final)
+        # A value finishing in the very last step commits on the edge
+        # that ends the iteration, so register-backed outputs are read
+        # post-edge (new_state); pass-through outputs from the settled
+        # final cycle.
+        outputs: Dict[str, int] = {}
+        for name, nets in self.output_registers.items():
+            source = new_state if nets[0] in new_state else final
+            outputs[name] = sum(source[q] << i
+                                for i, q in enumerate(nets))
+        energy = 0.5 * (report.switched_capacitance
+                        + report.clock_capacitance)
+        return outputs, new_state, energy
+
+    def evaluate_stream(self, input_streams: Dict[str, Sequence[int]]
+                        ) -> Tuple[List[Dict[str, int]], float]:
+        """Run many iterations back to back; returns (outputs, energy)."""
+        lengths = {len(s) for s in input_streams.values()}
+        assert len(lengths) == 1
+        cycles = lengths.pop()
+        state: Optional[Dict[str, int]] = None
+        results: List[Dict[str, int]] = []
+        total_energy = 0.0
+        for t in range(cycles):
+            words = {name: s[t] for name, s in input_streams.items()}
+            outputs, state, energy = self.run(words, state)
+            results.append(outputs)
+            total_energy += energy
+        return results, total_energy
+
+
+def _word(circuit: Circuit, prefix: str, width: int) -> List[str]:
+    return [f"{prefix}{i}" for i in range(width)]
+
+
+def _mux_word(circuit: Circuit, d0: Sequence[str], d1: Sequence[str],
+              sel: str) -> List[str]:
+    return [circuit.add_gate("MUX2", [d0[i], d1[i], sel])
+            for i in range(len(d0))]
+
+
+def synthesize_datapath(cdfg: Cdfg, schedule: Schedule,
+                        binding: Dict[int, Tuple[str, int]],
+                        register_of: Dict[int, int],
+                        width: Optional[int] = None,
+                        name: Optional[str] = None) -> DatapathDesign:
+    """Build the sequential implementation of a scheduled, bound CDFG.
+
+    ``binding`` maps op uid -> (kind, unit index) (from
+    :func:`repro.optimization.lp_scheduling.greedy_binding`);
+    ``register_of`` maps op uid -> register index (from
+    :func:`repro.optimization.allocation.allocate_registers`); ops
+    missing from it (dead values) are not stored.
+    """
+    w = width or min(cdfg.width, 8)
+    mask = (1 << w) - 1
+    latency = schedule.latency
+    circuit = Circuit(name or f"{cdfg.name}_datapath")
+
+    # ---- primary input buses and constants ---------------------------
+    input_buses: Dict[str, List[str]] = {}
+    source_nets: Dict[int, List[str]] = {}
+    const0 = circuit.add_gate("CONST0", [])
+    const1 = circuit.add_gate("CONST1", [])
+    for node in cdfg.nodes:
+        if node.kind == "input":
+            nets = circuit.add_inputs(_word(circuit, f"{node.name}_", w))
+            input_buses[node.name] = nets
+            source_nets[node.uid] = nets
+        elif node.kind == "const":
+            value = (node.value or 0) & mask
+            source_nets[node.uid] = [
+                const1 if (value >> i) & 1 else const0 for i in range(w)]
+
+    # ---- one-hot ring controller -------------------------------------
+    step_lines: List[str] = []
+    for t in range(1, latency + 1):
+        prev = f"step{latency}" if t == 1 else f"step{t - 1}"
+        q = circuit.add_latch(prev, output=f"step{t}",
+                              init=1 if t == 1 else 0)
+        step_lines.append(q)
+
+    def step_line(t: int) -> str:
+        return f"step{t}"
+
+    # ---- registers (declared up front; D muxes filled in later) ------
+    reg_ids = sorted(set(register_of.values()))
+    reg_q: Dict[int, List[str]] = {}
+    for r in reg_ids:
+        reg_q[r] = [f"r{r}_q{i}" for i in range(w)]
+
+    def operand_word(uid: int) -> List[str]:
+        node = cdfg.node(uid)
+        if not node.is_operation():
+            return source_nets[uid]
+        return reg_q[register_of[uid]]
+
+    # ---- functional units with steering muxes -------------------------
+    per_unit: Dict[Tuple[str, int], List[CdfgNode]] = {}
+    for node in cdfg.operations():
+        per_unit.setdefault(binding[node.uid], []).append(node)
+    for nodes in per_unit.values():
+        nodes.sort(key=lambda n: schedule.steps[n.uid])
+
+    op_output_word: Dict[int, List[str]] = {}
+    for (kind, index), nodes in sorted(per_unit.items()):
+        if kind == "lshift":
+            # Pure wiring per operation: no shared unit needed.
+            for node in nodes:
+                src = operand_word(node.operands[0])
+                shift = node.value or 0
+                op_output_word[node.uid] = \
+                    [const0] * min(shift, w) + src[:max(0, w - shift)]
+            continue
+
+        comp_kind = kind if kind in ("add", "sub", "mult", "mux",
+                                     "cmp_gt", "cmp_eq") else None
+        if comp_kind is None:
+            raise ValueError(f"unsupported operation kind {kind!r}")
+        component = make_component(comp_kind, w)
+        prefix = f"u_{kind}{index}_"
+
+        # Steering mux chain per port: operand of the op active at
+        # each step, later steps overriding earlier in the chain.
+        n_ports = len(component.input_ports)
+        port_words: List[List[str]] = []
+        for port in range(n_ports):
+            current: Optional[List[str]] = None
+            for node in nodes:
+                operand = node.operands[port] \
+                    if port < len(node.operands) else node.operands[-1]
+                word = operand_word(operand)
+                port_width = component.input_ports[port][1]
+                word = (word + [const0] * port_width)[:port_width]
+                if current is None:
+                    current = word
+                else:
+                    sel = step_line(schedule.steps[node.uid])
+                    current = _mux_word(circuit, current, word, sel)
+            assert current is not None
+            port_words.append(current)
+
+        # Embed the component's gates with renamed nets.
+        rename: Dict[str, str] = {}
+        for port, (bus_prefix, port_width) in enumerate(
+                component.input_ports):
+            for i in range(port_width):
+                rename[f"{bus_prefix}{i}"] = port_words[port][i]
+        for gate in component.circuit.topological_gates():
+            ins = [rename[n] for n in gate.inputs]
+            rename[gate.output] = circuit.add_gate(
+                gate.gate_type, ins, output=f"{prefix}{gate.output}")
+        out_word = [rename[n] for n in component.output_nets[:w]]
+        out_word += [const0] * (w - len(out_word))
+        for node in nodes:
+            op_output_word[node.uid] = out_word
+
+    # ---- register D muxes and write enables ---------------------------
+    writers: Dict[int, List[CdfgNode]] = {}
+    for uid, reg in register_of.items():
+        writers.setdefault(reg, []).append(cdfg.node(uid))
+    for reg, nodes in writers.items():
+        nodes.sort(key=lambda n: schedule.finish(n.uid))
+        current = reg_q[reg]
+        enables: List[str] = []
+        for node in nodes:
+            sel = step_line(schedule.finish(node.uid))
+            current = _mux_word(circuit, current,
+                                op_output_word[node.uid], sel)
+            enables.append(sel)
+        enable = enables[0] if len(enables) == 1 else \
+            reduce_tree(circuit, "OR", enables)
+        for i in range(w):
+            circuit.add_latch(current[i], output=reg_q[reg][i],
+                              enable=enable)
+
+    # ---- outputs -------------------------------------------------------
+    output_registers: Dict[str, List[str]] = {}
+    for out_name, uid in cdfg.outputs.items():
+        node = cdfg.node(uid)
+        if node.is_operation():
+            output_registers[out_name] = reg_q[register_of[uid]]
+        else:
+            output_registers[out_name] = source_nets[uid]
+    for nets in output_registers.values():
+        for net in nets:
+            if net not in circuit.outputs:
+                circuit.add_output(net)
+
+    return DatapathDesign(
+        circuit=circuit,
+        cdfg=cdfg,
+        latency=latency,
+        width=w,
+        input_buses=input_buses,
+        output_registers=output_registers,
+    )
+
+
+def synthesize_from_cdfg(cdfg: Cdfg, resources: Dict[str, int],
+                         input_streams: Optional[Dict[str, Sequence[int]]]
+                         = None,
+                         activity_aware: bool = True,
+                         width: Optional[int] = None,
+                         seed: int = 0) -> DatapathDesign:
+    """One-call flow: schedule, bind, allocate, and build the netlist."""
+    import random as _random
+
+    from repro.cdfg.schedule import list_schedule
+    from repro.optimization.allocation import allocate_registers
+    from repro.optimization.lp_scheduling import (
+        activity_aware_schedule,
+        greedy_binding,
+    )
+
+    if activity_aware:
+        schedule = activity_aware_schedule(cdfg, resources)
+    else:
+        schedule = list_schedule(cdfg, resources)
+    binding = greedy_binding(cdfg, schedule, resources)
+
+    if input_streams is None:
+        rng = _random.Random(seed)
+        names = [n.name for n in cdfg.nodes if n.kind == "input"]
+        input_streams = {name: [rng.randrange(1 << cdfg.width)
+                                for _ in range(48)] for name in names}
+    allocation = allocate_registers(cdfg, schedule, input_streams,
+                                    activity_aware=activity_aware)
+    return synthesize_datapath(cdfg, schedule, binding,
+                               allocation.assignment, width=width)

@@ -1,0 +1,180 @@
+"""Control-data-flow graph model.
+
+A :class:`Cdfg` is a DAG of word-level operations.  Node kinds:
+
+- ``input``  -- primary input word,
+- ``const``  -- literal constant,
+- ``add``, ``sub``, ``mult``, ``lshift``, ``cmp_gt``, ``cmp_eq`` --
+  arithmetic operations (two operands; ``lshift`` shifts operand 0 by a
+  constant count),
+- ``mux``    -- (d0, d1, control): control selects the data operand.
+
+Outputs are named references to nodes.  The graph supports functional
+evaluation (for the high-level simulation that drives activity-aware
+allocation), operation statistics, and critical-path queries — the
+quantities Section III-C trades off (Figs. 4-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+OP_KINDS = ("add", "sub", "mult", "lshift", "cmp_gt", "cmp_eq", "mux")
+
+#: Default operation delays in control steps (multipliers are slower in
+#: area-time product, but classic HLS examples count each op as one
+#: cycle; both conventions are supported via the delays argument).
+UNIT_DELAYS: Dict[str, int] = {kind: 1 for kind in OP_KINDS}
+
+
+@dataclass
+class CdfgNode:
+    """One operation (or source) in the CDFG."""
+
+    uid: int
+    kind: str
+    operands: List[int] = field(default_factory=list)
+    value: Optional[int] = None      # for const nodes / shift counts
+    name: Optional[str] = None       # for input nodes
+
+    def is_operation(self) -> bool:
+        return self.kind in OP_KINDS
+
+    def __repr__(self) -> str:
+        return f"CdfgNode({self.uid}, {self.kind})"
+
+
+class Cdfg:
+    """A DAG of word-level operations with named outputs."""
+
+    def __init__(self, name: str = "cdfg", width: int = 16) -> None:
+        self.name = name
+        self.width = width
+        self.nodes: List[CdfgNode] = []
+        self.outputs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _add(self, node: CdfgNode) -> int:
+        self.nodes.append(node)
+        return node.uid
+
+    def add_input(self, name: str) -> int:
+        return self._add(CdfgNode(len(self.nodes), "input", name=name))
+
+    def add_const(self, value: int) -> int:
+        return self._add(CdfgNode(len(self.nodes), "const", value=value))
+
+    def add_op(self, kind: str, *operands: int, value: Optional[int] = None
+               ) -> int:
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        expected = 3 if kind == "mux" else (1 if kind == "lshift" else 2)
+        if len(operands) != expected:
+            raise ValueError(
+                f"{kind} takes {expected} operands, got {len(operands)}")
+        for op in operands:
+            if not (0 <= op < len(self.nodes)):
+                raise ValueError(f"operand {op} out of range")
+        return self._add(CdfgNode(len(self.nodes), kind, list(operands),
+                                  value=value))
+
+    def set_output(self, name: str, node: int) -> None:
+        self.outputs[name] = node
+
+    def node(self, uid: int) -> CdfgNode:
+        return self.nodes[uid]
+
+    # ------------------------------------------------------------------
+    def operations(self) -> List[CdfgNode]:
+        return [n for n in self.nodes if n.is_operation()]
+
+    def operation_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for n in self.operations():
+            counts[n.kind] = counts.get(n.kind, 0) + 1
+        return counts
+
+    def successors(self) -> Dict[int, List[int]]:
+        succ: Dict[int, List[int]] = {n.uid: [] for n in self.nodes}
+        for n in self.nodes:
+            for op in n.operands:
+                succ[op].append(n.uid)
+        return succ
+
+    def critical_path(self, delays: Optional[Dict[str, int]] = None) -> int:
+        """Longest operation chain from any source to any output."""
+        delays = delays or UNIT_DELAYS
+        finish: Dict[int, int] = {}
+        for n in self.nodes:  # nodes are in topological order by uid
+            start = max((finish[op] for op in n.operands), default=0)
+            finish[n.uid] = start + (delays.get(n.kind, 0)
+                                     if n.is_operation() else 0)
+        if not self.outputs:
+            return max(finish.values(), default=0)
+        return max(finish[uid] for uid in self.outputs.values())
+
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Functional word-level evaluation of the graph."""
+        values = self.evaluate_all(inputs)
+        return {name: values[uid] for name, uid in self.outputs.items()}
+
+    def evaluate_all(self, inputs: Dict[str, int]) -> Dict[int, int]:
+        mask = (1 << self.width) - 1
+        values: Dict[int, int] = {}
+        for n in self.nodes:
+            if n.kind == "input":
+                if n.name not in inputs:
+                    raise ValueError(f"missing input {n.name!r}")
+                values[n.uid] = inputs[n.name] & mask
+            elif n.kind == "const":
+                values[n.uid] = (n.value or 0) & mask
+            elif n.kind == "add":
+                values[n.uid] = (values[n.operands[0]]
+                                 + values[n.operands[1]]) & mask
+            elif n.kind == "sub":
+                values[n.uid] = (values[n.operands[0]]
+                                 - values[n.operands[1]]) & mask
+            elif n.kind == "mult":
+                values[n.uid] = (values[n.operands[0]]
+                                 * values[n.operands[1]]) & mask
+            elif n.kind == "lshift":
+                values[n.uid] = (values[n.operands[0]]
+                                 << (n.value or 0)) & mask
+            elif n.kind == "cmp_gt":
+                values[n.uid] = int(values[n.operands[0]]
+                                    > values[n.operands[1]])
+            elif n.kind == "cmp_eq":
+                values[n.uid] = int(values[n.operands[0]]
+                                    == values[n.operands[1]])
+            elif n.kind == "mux":
+                d0, d1, ctrl = n.operands
+                values[n.uid] = values[d1] if values[ctrl] & 1 \
+                    else values[d0]
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"cannot evaluate node kind {n.kind!r}")
+        return values
+
+    def simulate(self, input_streams: Dict[str, Sequence[int]]
+                 ) -> Dict[int, List[int]]:
+        """Per-node value traces under word-level stimulus.
+
+        This is the 'high-level simulation of the CDFG' that produces
+        the switching-activity weights W_s of Section III-E.
+        """
+        lengths = {len(s) for s in input_streams.values()}
+        if len(lengths) != 1:
+            raise ValueError("input streams must share a length")
+        cycles = lengths.pop()
+        traces: Dict[int, List[int]] = {n.uid: [] for n in self.nodes}
+        for t in range(cycles):
+            values = self.evaluate_all(
+                {name: s[t] for name, s in input_streams.items()})
+            for uid, v in values.items():
+                traces[uid].append(v)
+        return traces
+
+    def __repr__(self) -> str:
+        return (f"Cdfg({self.name!r}, nodes={len(self.nodes)}, "
+                f"ops={len(self.operations())})")

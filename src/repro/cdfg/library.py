@@ -1,0 +1,122 @@
+"""Characterized module library with energy-delay-voltage curves.
+
+Implements the "preliminary characterization procedure" of Section
+III-F ([73]): every module kind is simulated at gate level under
+pseudorandom data to obtain its average switched capacitance; energy
+and delay are then derived per supply voltage with the standard CMOS
+scaling laws
+
+    energy(V) = 0.5 * C_sw * V^2
+    delay(V)  = d0 * V / (V - Vt)^alpha
+
+so the multiple-voltage scheduler can trade speed for energy.  Level
+shifters add fixed energy/delay per crossing, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.components import make_component
+from repro.rtl.streams import random_stream
+
+#: CDFG op kind -> (RTL component kind used for characterization)
+_CHARACTERIZE_AS: Dict[str, str] = {
+    "add": "add",
+    "sub": "sub",
+    "mult": "mult",
+    "mux": "mux",
+    "cmp_gt": "cmp_gt",
+    "cmp_eq": "cmp_eq",
+    "lshift": "reg",   # constant shift: wiring only; register-level cost
+}
+
+
+@dataclass(frozen=True)
+class EnergyDelayPoint:
+    """One voltage alternative of a module."""
+
+    voltage: float
+    energy: float     # per operation
+    delay: float      # in normalized time units
+
+
+class ModuleLibrary:
+    """Per-kind characterized energy/delay across supply voltages."""
+
+    def __init__(self, width: int = 8,
+                 voltages: Sequence[float] = (5.0, 3.3, 2.4),
+                 vt: float = 0.8, alpha: float = 2.0,
+                 characterization_cycles: int = 300,
+                 level_shifter_energy: float = 0.05,
+                 level_shifter_delay: float = 0.2) -> None:
+        self.width = width
+        self.voltages = tuple(sorted(voltages, reverse=True))
+        self.vt = vt
+        self.alpha = alpha
+        self.level_shifter_energy = level_shifter_energy
+        self.level_shifter_delay = level_shifter_delay
+        self._cycles = characterization_cycles
+        self._cap_cache: Dict[str, float] = {}
+        self._delay_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _characterize(self, kind: str) -> Tuple[float, float]:
+        """(avg switched capacitance per op, base gate-level delay)."""
+        if kind in self._cap_cache:
+            return self._cap_cache[kind], self._delay_cache[kind]
+        component = make_component(_CHARACTERIZE_AS[kind], self.width)
+        streams = [random_stream(w, self._cycles, seed=17 + i)
+                   for i, (_p, w) in enumerate(component.input_ports)]
+        report = component.reference_activity(streams)
+        per_cycle = (report.switched_capacitance
+                     + report.clock_capacitance) / max(1, report.cycles - 1)
+        depth = max(1, component.circuit.depth())
+        self._cap_cache[kind] = per_cycle
+        self._delay_cache[kind] = float(depth)
+        return per_cycle, float(depth)
+
+    def switched_capacitance(self, kind: str) -> float:
+        return self._characterize(kind)[0]
+
+    def base_delay(self, kind: str) -> float:
+        return self._characterize(kind)[1]
+
+    def _delay_factor(self, voltage: float) -> float:
+        """Normalized CMOS delay scaling, 1.0 at the highest voltage."""
+        def raw(v: float) -> float:
+            return v / ((v - self.vt) ** self.alpha)
+
+        return raw(voltage) / raw(self.voltages[0])
+
+    def curve(self, kind: str) -> List[EnergyDelayPoint]:
+        """Energy-delay alternatives, fastest (highest V) first."""
+        cap, d0 = self._characterize(kind)
+        return [
+            EnergyDelayPoint(v, 0.5 * cap * v * v,
+                             d0 * self._delay_factor(v))
+            for v in self.voltages
+        ]
+
+    def point(self, kind: str, voltage: float) -> EnergyDelayPoint:
+        for p in self.curve(kind):
+            if math.isclose(p.voltage, voltage):
+                return p
+        raise KeyError(f"voltage {voltage} not in library {self.voltages}")
+
+    def energy(self, kind: str, voltage: Optional[float] = None) -> float:
+        v = voltage if voltage is not None else self.voltages[0]
+        return self.point(kind, v).energy
+
+    def delay(self, kind: str, voltage: Optional[float] = None) -> float:
+        v = voltage if voltage is not None else self.voltages[0]
+        return self.point(kind, v).delay
+
+    def shifter_cost(self, v_from: float, v_to: float
+                     ) -> Tuple[float, float]:
+        """(energy, delay) of a level shifter between two domains."""
+        if math.isclose(v_from, v_to):
+            return 0.0, 0.0
+        return self.level_shifter_energy, self.level_shifter_delay

@@ -1,0 +1,291 @@
+"""Operation scheduling: ASAP, ALAP, and list scheduling.
+
+The baseline algorithms of Section III-D, on which the low-power
+schedulers in :mod:`repro.optimization.lp_scheduling` build.  A
+schedule assigns each operation node a control step (1-based start
+time); correctness means every operation starts after all its operand
+operations finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdfg.graph import Cdfg, CdfgNode, UNIT_DELAYS
+
+
+@dataclass
+class Schedule:
+    """Mapping of operation uid -> control step (1-based)."""
+
+    cdfg: Cdfg
+    steps: Dict[int, int]
+    delays: Dict[str, int] = field(default_factory=lambda: dict(UNIT_DELAYS))
+
+    @property
+    def latency(self) -> int:
+        if not self.steps:
+            return 0
+        return max(self.finish(uid) for uid in self.steps)
+
+    def start(self, uid: int) -> int:
+        return self.steps[uid]
+
+    def finish(self, uid: int) -> int:
+        node = self.cdfg.node(uid)
+        return self.steps[uid] + self.delays.get(node.kind, 1) - 1
+
+    def is_valid(self) -> bool:
+        for node in self.cdfg.operations():
+            for op in node.operands:
+                operand = self.cdfg.node(op)
+                if operand.is_operation():
+                    if self.steps[node.uid] <= self.finish(op):
+                        return False
+        return True
+
+    def resource_usage(self) -> Dict[str, int]:
+        """Max simultaneous operations per kind (FUs needed)."""
+        usage: Dict[str, int] = {}
+        by_step: Dict[tuple, int] = {}
+        for node in self.cdfg.operations():
+            for t in range(self.steps[node.uid], self.finish(node.uid) + 1):
+                key = (node.kind, t)
+                by_step[key] = by_step.get(key, 0) + 1
+        for (kind, _t), count in by_step.items():
+            usage[kind] = max(usage.get(kind, 0), count)
+        return usage
+
+    def operations_in_step(self, step: int) -> List[CdfgNode]:
+        return [n for n in self.cdfg.operations()
+                if self.steps[n.uid] <= step <= self.finish(n.uid)]
+
+
+def asap(cdfg: Cdfg, delays: Optional[Dict[str, int]] = None) -> Schedule:
+    """As-soon-as-possible schedule."""
+    delays = dict(delays or UNIT_DELAYS)
+    steps: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    for node in cdfg.nodes:  # uids are topologically ordered
+        ready = 1 + max((finish.get(op, 0) for op in node.operands),
+                        default=0)
+        if node.is_operation():
+            steps[node.uid] = ready
+            finish[node.uid] = ready + delays.get(node.kind, 1) - 1
+        else:
+            finish[node.uid] = 0
+    return Schedule(cdfg, steps, delays)
+
+
+def alap(cdfg: Cdfg, latency: Optional[int] = None,
+         delays: Optional[Dict[str, int]] = None) -> Schedule:
+    """As-late-as-possible schedule within ``latency`` steps.
+
+    Defaults to the ASAP latency (critical-path length).
+    """
+    delays = dict(delays or UNIT_DELAYS)
+    if latency is None:
+        latency = asap(cdfg, delays).latency
+    succ = cdfg.successors()
+    steps: Dict[int, int] = {}
+    # Process in reverse topological (reverse uid) order.
+    latest_start: Dict[int, int] = {}
+    for node in reversed(cdfg.nodes):
+        if not node.is_operation():
+            continue
+        d = delays.get(node.kind, 1)
+        bound = latency - d + 1
+        for s in succ[node.uid]:
+            s_node = cdfg.node(s)
+            if s_node.is_operation():
+                bound = min(bound, latest_start[s] - d)
+        if bound < 1:
+            raise ValueError(
+                f"latency {latency} below the critical path")
+        latest_start[node.uid] = bound
+        steps[node.uid] = bound
+    return Schedule(cdfg, steps, delays)
+
+
+def mobility(cdfg: Cdfg, latency: Optional[int] = None,
+             delays: Optional[Dict[str, int]] = None) -> Dict[int, int]:
+    """ALAP minus ASAP start per operation (slack in control steps)."""
+    s_asap = asap(cdfg, delays)
+    s_alap = alap(cdfg, latency, delays)
+    return {uid: s_alap.steps[uid] - s_asap.steps[uid]
+            for uid in s_asap.steps}
+
+
+def list_schedule(cdfg: Cdfg, resources: Dict[str, int],
+                  delays: Optional[Dict[str, int]] = None,
+                  priority: Optional[Dict[int, float]] = None) -> Schedule:
+    """Resource-constrained list scheduling.
+
+    ``resources[kind]`` bounds the number of kind-FUs active in any
+    step.  Default priority is criticality (longest path to a sink);
+    a custom priority map lets low-power variants reorder ties
+    (higher value schedules first).
+    """
+    delays = dict(delays or UNIT_DELAYS)
+    ops = cdfg.operations()
+    if priority is None:
+        priority = _criticality(cdfg, delays)
+
+    pending = {n.uid for n in ops}
+    finish: Dict[int, int] = {}
+    steps: Dict[int, int] = {}
+    running: List[tuple] = []   # (finish_step, kind, uid)
+    step = 0
+    busy: Dict[str, int] = {}
+    while pending:
+        step += 1
+        # Retire completed operations.
+        for f, kind, uid in list(running):
+            if f < step:
+                busy[kind] -= 1
+                running.remove((f, kind, uid))
+        ready = []
+        for uid in pending:
+            node = cdfg.node(uid)
+            ok = True
+            for op in node.operands:
+                operand = cdfg.node(op)
+                if operand.is_operation() and \
+                        (op in pending or finish[op] >= step):
+                    ok = False
+                    break
+            if ok:
+                ready.append(uid)
+        ready.sort(key=lambda uid: -priority.get(uid, 0.0))
+        for uid in ready:
+            kind = cdfg.node(uid).kind
+            limit = resources.get(kind)
+            if limit is not None and busy.get(kind, 0) >= limit:
+                continue
+            steps[uid] = step
+            f = step + delays.get(kind, 1) - 1
+            finish[uid] = f
+            busy[kind] = busy.get(kind, 0) + 1
+            running.append((f, kind, uid))
+            pending.discard(uid)
+        if step > 10 * (len(ops) + 1) * max(delays.values()):
+            raise RuntimeError("list scheduling failed to converge")
+    return Schedule(cdfg, steps, delays)
+
+
+def _criticality(cdfg: Cdfg, delays: Dict[str, int]) -> Dict[int, float]:
+    succ = cdfg.successors()
+    longest: Dict[int, int] = {}
+    for node in reversed(cdfg.nodes):
+        if not node.is_operation():
+            continue
+        d = delays.get(node.kind, 1)
+        below = max((longest[s] for s in succ[node.uid]
+                     if cdfg.node(s).is_operation()), default=0)
+        longest[node.uid] = d + below
+    return {uid: float(v) for uid, v in longest.items()}
+
+
+def force_directed_schedule(cdfg: Cdfg, latency: Optional[int] = None,
+                            delays: Optional[Dict[str, int]] = None
+                            ) -> Schedule:
+    """Force-directed scheduling (Paulin-Knight), latency-constrained.
+
+    Balances each kind's expected resource usage across control steps:
+    operations are placed one at a time at the step of minimum "force",
+    where force is the increase in the kind's summed squared
+    distribution caused by committing the op there (self force plus
+    the implied narrowing of successors/predecessors is approximated
+    by recomputing time frames after each commitment -- sufficient for
+    the graph sizes used here).
+    """
+    delays = dict(delays or UNIT_DELAYS)
+    if latency is None:
+        latency = asap(cdfg, delays).latency
+    committed: Dict[int, int] = {}
+
+    def frames() -> Dict[int, tuple]:
+        s_asap = _constrained_asap(cdfg, delays, committed)
+        s_alap = _constrained_alap(cdfg, delays, committed, latency)
+        return {uid: (s_asap[uid], s_alap[uid]) for uid in s_asap}
+
+    def distribution(time_frames: Dict[int, tuple]
+                     ) -> Dict[str, List[float]]:
+        dist: Dict[str, List[float]] = {}
+        for node in cdfg.operations():
+            lo, hi = time_frames[node.uid]
+            width = hi - lo + 1
+            row = dist.setdefault(node.kind, [0.0] * (latency + 2))
+            d = delays.get(node.kind, 1)
+            for start in range(lo, hi + 1):
+                for t in range(start, start + d):
+                    if t < len(row):
+                        row[t] += 1.0 / width
+        return dist
+
+    ops = sorted(cdfg.operations(), key=lambda n: n.uid)
+    for node in ops:
+        time_frames = frames()
+        lo, hi = time_frames[node.uid]
+        if lo == hi:
+            committed[node.uid] = lo
+            continue
+        best_step, best_force = lo, float("inf")
+        for step in range(lo, hi + 1):
+            committed[node.uid] = step
+            try:
+                trial = frames()
+            except ValueError:
+                del committed[node.uid]
+                continue
+            dist = distribution(trial)
+            force = sum(v * v for row in dist.values() for v in row)
+            if force < best_force:
+                best_force = force
+                best_step = step
+            del committed[node.uid]
+        committed[node.uid] = best_step
+    return Schedule(cdfg, committed, delays)
+
+
+def _constrained_asap(cdfg: Cdfg, delays: Dict[str, int],
+                      committed: Dict[int, int]) -> Dict[int, int]:
+    steps: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    for node in cdfg.nodes:
+        ready = 1 + max((finish.get(op, 0) for op in node.operands),
+                        default=0)
+        if node.is_operation():
+            steps[node.uid] = committed.get(node.uid, ready)
+            if steps[node.uid] < ready:
+                raise ValueError("commitment violates precedence")
+            finish[node.uid] = steps[node.uid] \
+                + delays.get(node.kind, 1) - 1
+        else:
+            finish[node.uid] = 0
+    return steps
+
+
+def _constrained_alap(cdfg: Cdfg, delays: Dict[str, int],
+                      committed: Dict[int, int],
+                      latency: int) -> Dict[int, int]:
+    succ = cdfg.successors()
+    steps: Dict[int, int] = {}
+    for node in reversed(cdfg.nodes):
+        if not node.is_operation():
+            continue
+        d = delays.get(node.kind, 1)
+        bound = latency - d + 1
+        for s in succ[node.uid]:
+            s_node = cdfg.node(s)
+            if s_node.is_operation():
+                bound = min(bound, steps[s] - d)
+        if node.uid in committed:
+            if committed[node.uid] > bound:
+                raise ValueError("commitment violates deadline")
+            bound = committed[node.uid]
+        if bound < 1:
+            raise ValueError("latency infeasible")
+        steps[node.uid] = bound
+    return steps

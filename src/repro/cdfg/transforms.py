@@ -1,0 +1,219 @@
+"""Behavioral transformations (Section III-C).
+
+Reproduces the paper's three flagship examples:
+
+- polynomial evaluation restructured by Horner's rule (Figs. 4-5):
+  fewer multipliers, possibly longer critical path,
+- strength reduction: multiplication by a constant decomposed into
+  shift-and-add using the canonical signed digit (CSD) form,
+- whole-graph constant-multiplication elimination (the transformation
+  behind Table I).
+
+All transforms preserve input/output behaviour, which the test suite
+checks exhaustively on small widths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import Cdfg, CdfgNode
+
+
+def _balanced_add(cdfg: Cdfg, terms: Sequence[int]) -> int:
+    """Balanced binary adder tree over the term nodes."""
+    nodes = list(terms)
+    if not nodes:
+        raise ValueError("cannot add zero terms")
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(cdfg.add_op("add", nodes[i], nodes[i + 1]))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    return nodes[0]
+
+
+def direct_polynomial(coeffs: Sequence[int], width: int = 16,
+                      name: str = "poly_direct") -> Cdfg:
+    """Power-form evaluation of the monic polynomial
+    ``x^n + coeffs[n-1] x^{n-1} + ... + coeffs[1] x + coeffs[0]``
+    with ``n = len(coeffs)``.
+
+    Powers come from a multiplication chain (x^2 = x*x, ...), each
+    lower-degree term is scaled by its coefficient, and the terms are
+    summed with a balanced adder tree — the left-hand structures of
+    Figs. 4 and 5.  For the second order that is 2 multipliers and
+    2 adders at critical path 3; for the third order, 4 multipliers
+    and 3 adders at critical path 4, exactly the paper's counts.
+    """
+    if len(coeffs) < 2:
+        raise ValueError("need a polynomial of degree >= 2")
+    degree = len(coeffs)
+    cdfg = Cdfg(name, width)
+    x = cdfg.add_input("x")
+    powers: List[Optional[int]] = [None, x]
+    for _d in range(2, degree + 1):
+        powers.append(cdfg.add_op("mult", powers[-1], x))
+    terms = [cdfg.add_const(coeffs[0])]
+    for d in range(1, degree):
+        c = cdfg.add_const(coeffs[d])
+        terms.append(cdfg.add_op("mult", c, powers[d]))
+    terms.append(powers[degree])          # monic leading term
+    cdfg.set_output("y", _balanced_add(cdfg, terms))
+    return cdfg
+
+
+def horner_polynomial(coeffs: Sequence[int], width: int = 16,
+                      name: str = "poly_horner") -> Cdfg:
+    """Horner form of the same monic polynomial:
+    ``(...((x + c_{n-1}) x + c_{n-2}) x ... ) x + c_0``.
+
+    The right-hand structures of Figs. 4 and 5: n-1 multipliers and n
+    adders in a fully serial chain (second order: 1 multiplier, 2
+    adders, critical path 3; third order: 2 multipliers, 3 adders,
+    critical path 5 — the paper's speed/operation-count tradeoff).
+    """
+    if len(coeffs) < 2:
+        raise ValueError("need a polynomial of degree >= 2")
+    cdfg = Cdfg(name, width)
+    x = cdfg.add_input("x")
+    acc = cdfg.add_op("add", x, cdfg.add_const(coeffs[-1]))
+    for c in reversed(coeffs[:-1]):
+        prod = cdfg.add_op("mult", acc, x)
+        acc = cdfg.add_op("add", prod, cdfg.add_const(c))
+    cdfg.set_output("y", acc)
+    return cdfg
+
+
+def csd_digits(value: int) -> List[Tuple[int, int]]:
+    """Canonical signed digit form: list of (shift, +1/-1) terms.
+
+    CSD minimizes nonzero digits, hence the number of shift-add terms
+    after strength reduction.
+    """
+    if value < 0:
+        raise ValueError("CSD decomposition expects a non-negative constant")
+    digits: List[Tuple[int, int]] = []
+    shift = 0
+    while value:
+        if value & 1:
+            # Two's-bit run detection: ...0111 -> +1000 -1.
+            if (value & 3) == 3:
+                digits.append((shift, -1))
+                value += 1
+            else:
+                digits.append((shift, 1))
+                value -= 1
+        value >>= 1
+        shift += 1
+    return digits
+
+
+def strength_reduce_constant_mult(cdfg: Cdfg, node_uid: int) -> Cdfg:
+    """Rewrite one const*x multiplication into shift/add/sub nodes.
+
+    Returns a new CDFG; the original is untouched.  Raises ValueError
+    if the node is not a multiplication with a constant operand.
+    """
+    node = cdfg.node(node_uid)
+    if node.kind != "mult":
+        raise ValueError(f"node {node_uid} is not a multiplication")
+    const_pos = None
+    for i, op in enumerate(node.operands):
+        if cdfg.node(op).kind == "const":
+            const_pos = i
+            break
+    if const_pos is None:
+        raise ValueError(f"node {node_uid} has no constant operand")
+    return convert_constant_multiplications(cdfg, only={node_uid})
+
+
+def convert_constant_multiplications(cdfg: Cdfg,
+                                     only: Optional[set] = None) -> Cdfg:
+    """Replace const*x mults by CSD shift-add networks (Table I's
+    transformation).
+
+    ``only`` restricts the rewrite to a subset of node uids.
+    """
+    new = Cdfg(f"{cdfg.name}_shiftadd", cdfg.width)
+    mapping: Dict[int, int] = {}
+
+    for node in cdfg.nodes:
+        if node.kind == "input":
+            mapping[node.uid] = new.add_input(node.name or f"in{node.uid}")
+            continue
+        if node.kind == "const":
+            mapping[node.uid] = new.add_const(node.value or 0)
+            continue
+        operands = [mapping[op] for op in node.operands]
+        if node.kind == "mult" and (only is None or node.uid in only):
+            const_operand = None
+            other = None
+            for orig_op, new_op in zip(node.operands, operands):
+                if cdfg.node(orig_op).kind == "const" \
+                        and const_operand is None:
+                    const_operand = cdfg.node(orig_op).value or 0
+                else:
+                    other = new_op
+            if const_operand is not None and other is not None \
+                    and const_operand >= 0:
+                mapping[node.uid] = _emit_shift_add(
+                    new, other, const_operand)
+                continue
+        mapping[node.uid] = new.add_op(node.kind, *operands,
+                                       value=node.value)
+
+    for name, uid in cdfg.outputs.items():
+        new.set_output(name, mapping[uid])
+    return new
+
+
+def _emit_shift_add(cdfg: Cdfg, x: int, constant: int) -> int:
+    if constant == 0:
+        return cdfg.add_const(0)
+    terms = csd_digits(constant)
+    acc: Optional[int] = None
+    acc_sign = 1
+    for shift, sign in terms:
+        term = x if shift == 0 else cdfg.add_op("lshift", x, value=shift)
+        if acc is None:
+            acc, acc_sign = term, sign
+        elif sign > 0:
+            acc = cdfg.add_op("add", acc, term) if acc_sign > 0 \
+                else cdfg.add_op("sub", term, acc)
+            acc_sign = 1
+        else:
+            if acc_sign > 0:
+                acc = cdfg.add_op("sub", acc, term)
+            else:
+                # -(a) - term: negate by 0 - (a + term); rare for CSD.
+                both = cdfg.add_op("add", acc, term)
+                zero = cdfg.add_const(0)
+                acc = cdfg.add_op("sub", zero, both)
+            acc_sign = 1
+    assert acc is not None
+    if acc_sign < 0:
+        zero = cdfg.add_const(0)
+        acc = cdfg.add_op("sub", zero, acc)
+    return acc
+
+
+def fir_filter(coeffs: Sequence[int], width: int = 16,
+               name: str = "fir") -> Cdfg:
+    """N-tap FIR:  y = sum_i coeffs[i] * x[t-i].
+
+    Tap inputs are modeled as separate inputs ``x0..x{n-1}`` (the
+    delay line lives outside the dataflow graph), matching how HLS
+    papers draw the FIR kernel.  This is the workload of Table I.
+    """
+    cdfg = Cdfg(name, width)
+    taps = [cdfg.add_input(f"x{i}") for i in range(len(coeffs))]
+    acc: Optional[int] = None
+    for i, c in enumerate(coeffs):
+        const = cdfg.add_const(c)
+        prod = cdfg.add_op("mult", const, taps[i])
+        acc = prod if acc is None else cdfg.add_op("add", acc, prod)
+    cdfg.set_output("y", acc)  # type: ignore[arg-type]
+    return cdfg

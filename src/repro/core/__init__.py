@@ -1,0 +1,19 @@
+"""The framework facade: level-by-level estimation and optimization.
+
+- :mod:`repro.core.estimator` -- :class:`PowerEstimator`, one entry
+  point to every estimation technique of Section II, dispatching on
+  design abstraction level,
+- :mod:`repro.core.flow`      -- :class:`DesignImprovementLoop`, the
+  Fig. 1 loop: rank candidate optimizations with a level-appropriate
+  estimator and apply the best.
+"""
+
+from repro.core.estimator import PowerEstimator, EstimateResult
+from repro.core.flow import DesignImprovementLoop, OptimizationStep
+
+__all__ = [
+    "PowerEstimator",
+    "EstimateResult",
+    "DesignImprovementLoop",
+    "OptimizationStep",
+]

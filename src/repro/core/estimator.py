@@ -1,0 +1,166 @@
+"""Unified power estimator across abstraction levels.
+
+:class:`PowerEstimator` is the "power analyzer/estimator" box of the
+paper's Fig. 1: one object that can be asked for a power estimate at
+whatever abstraction the design currently exists in --
+
+- software:    a program for the framework's ISA,
+- behavioral:  a CDFG (entropy / complexity / quick-synthesis models),
+- RTL:         a component with operand streams (macro-models, with
+  census/sampler/adaptive evaluation),
+- gate:        a netlist with stimulus (simulation, probabilistic, or
+  Monte Carlo).
+
+Every method reports an :class:`EstimateResult` carrying the value,
+the technique used, and a relative-cost indicator so flows can trade
+accuracy for speed, which is the entire premise of high-level
+estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.logic.netlist import Circuit
+from repro.logic.simulate import Vector
+
+
+@dataclass
+class EstimateResult:
+    """A power estimate plus its provenance."""
+
+    power: float
+    technique: str
+    level: str
+    cost: float = 0.0     # relative evaluation cost (bigger = slower)
+
+    def __repr__(self) -> str:
+        return (f"EstimateResult({self.power:.4f}, {self.technique!r}, "
+                f"level={self.level!r})")
+
+
+class PowerEstimator:
+    """Facade over the estimation techniques of Section II."""
+
+    def __init__(self, vdd: float = 1.0, freq: float = 1.0) -> None:
+        self.vdd = vdd
+        self.freq = freq
+
+    # ------------------------------------------------------------------
+    # Software level (Section II-A)
+    # ------------------------------------------------------------------
+    def software(self, program, model=None) -> EstimateResult:
+        """Instruction-level estimate of a program's energy."""
+        from repro.estimation.software_power import TiwariModel
+        from repro.software.machine import Machine
+
+        stats = Machine().run(list(program))
+        if model is None:
+            model = TiwariModel.characterize(loop_length=200)
+        energy = model.estimate(stats)
+        return EstimateResult(energy, "tiwari-instruction-level",
+                              "software", cost=stats.instructions)
+
+    # ------------------------------------------------------------------
+    # Behavioral level (Section II-B)
+    # ------------------------------------------------------------------
+    def behavioral(self, cdfg, technique: str = "quick-synthesis",
+                   **kwargs) -> EstimateResult:
+        if technique == "quick-synthesis":
+            from repro.estimation.quicksynth import \
+                quick_synthesis_estimate
+
+            estimate = quick_synthesis_estimate(cdfg, **kwargs)
+            return EstimateResult(estimate.total, technique, "behavioral",
+                                  cost=10.0)
+        if technique == "gate-equivalents":
+            from repro.estimation.complexity import gate_equivalent_power
+
+            counts = cdfg.operation_counts()
+            equivalents = {"add": 12, "sub": 14, "mult": 60, "mux": 4,
+                           "lshift": 1, "cmp_gt": 8, "cmp_eq": 6}
+            n = sum(equivalents.get(k, 8) * v for k, v in counts.items())
+            power = gate_equivalent_power(n, vdd=self.vdd, freq=self.freq)
+            return EstimateResult(power, technique, "behavioral", cost=1.0)
+        raise ValueError(f"unknown behavioral technique {technique!r}")
+
+    def entropic(self, circuit: Circuit, vectors: Sequence[Vector],
+                 model: str = "marculescu") -> EstimateResult:
+        """Information-theoretic estimate (Section II-B1)."""
+        from repro.estimation.entropy import \
+            estimate_circuit_power_entropic
+
+        power = estimate_circuit_power_entropic(
+            circuit, vectors, model=model, vdd=self.vdd, freq=self.freq)
+        return EstimateResult(power, f"entropy/{model}", "behavioral",
+                              cost=len(vectors))
+
+    # ------------------------------------------------------------------
+    # RT level (Section II-C)
+    # ------------------------------------------------------------------
+    def rtl(self, component, streams, model=None,
+            evaluation: str = "census", **kwargs) -> EstimateResult:
+        """Macro-model estimate of an RTL component under stimulus."""
+        from repro.estimation.macromodel import BitwiseModel, \
+            fit_macromodel
+        from repro.estimation import sampling
+
+        if model is None:
+            model = fit_macromodel(BitwiseModel(), component)
+        if evaluation == "census":
+            result = sampling.census_power(model, streams)
+        elif evaluation == "sampler":
+            result = sampling.sampler_power(model, streams, **kwargs)
+        elif evaluation == "adaptive":
+            result = sampling.adaptive_power(model, component, streams,
+                                             **kwargs)
+        else:
+            raise ValueError(f"unknown evaluation {evaluation!r}")
+        scaled = result.estimate * 0.5 * self.vdd * self.vdd * self.freq \
+            / 0.5
+        return EstimateResult(scaled, f"macromodel/{model.name}"
+                              f"/{evaluation}", "rtl", cost=result.cost)
+
+    # ------------------------------------------------------------------
+    # Gate level (reference techniques)
+    # ------------------------------------------------------------------
+    def gate(self, circuit: Circuit,
+             vectors: Optional[Sequence[Vector]] = None,
+             technique: str = "simulation") -> EstimateResult:
+        if technique == "simulation":
+            if vectors is None:
+                raise ValueError("simulation needs stimulus vectors")
+            from repro.logic.simulate import collect_activity
+
+            power = collect_activity(circuit, vectors).average_power(
+                vdd=self.vdd, freq=self.freq)
+            return EstimateResult(power, technique, "gate",
+                                  cost=len(vectors) * circuit.gate_count())
+        if technique == "event-driven":
+            if vectors is None:
+                raise ValueError("event-driven needs stimulus vectors")
+            from repro.logic.eventsim import EventSimulator
+
+            power = EventSimulator(circuit).run(vectors).average_power(
+                vdd=self.vdd, freq=self.freq)
+            return EstimateResult(
+                power, technique, "gate",
+                cost=3.0 * len(vectors) * circuit.gate_count())
+        if technique == "probabilistic":
+            from repro.estimation.probabilistic import \
+                density_power_estimate
+
+            power = density_power_estimate(circuit, vdd=self.vdd,
+                                           freq=self.freq)
+            return EstimateResult(power, "transition-density", "gate",
+                                  cost=circuit.gate_count())
+        if technique == "monte-carlo":
+            from repro.estimation.probabilistic import monte_carlo_power
+
+            result = monte_carlo_power(circuit)
+            return EstimateResult(
+                result.power * self.vdd * self.vdd * self.freq,
+                "monte-carlo", "gate",
+                cost=result.vectors_used * circuit.gate_count())
+        raise ValueError(f"unknown gate technique {technique!r}")

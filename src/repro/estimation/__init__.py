@@ -1,0 +1,70 @@
+"""High-level power estimation (Section II of the paper).
+
+One module per surveyed model family:
+
+- :mod:`repro.estimation.entropy`        -- information-theoretic
+  models (II-B1): Marculescu/Nemani-Najm average line entropy,
+  Cheng-Agrawal and Ferrandi total-capacitance estimates,
+- :mod:`repro.estimation.tyagi`          -- entropic FSM switching
+  bounds (II-B1, [13]),
+- :mod:`repro.estimation.complexity`     -- complexity-based models
+  (II-B2): gate equivalents, Nemani-Najm area complexity,
+  Landman-Rabaey controller model,
+- :mod:`repro.estimation.quicksynth`     -- synthesis-based behavioral
+  estimation (II-B3),
+- :mod:`repro.estimation.macromodel`     -- regression macro-models
+  (II-C1): PFA, dual-bit-type, bitwise, input-output, 3D table,
+  cycle-accurate models with F-test variable selection,
+- :mod:`repro.estimation.sampling`       -- census / sampler /
+  adaptive cosimulation (II-C2),
+- :mod:`repro.estimation.probabilistic`  -- gate-level probabilistic
+  reference methods (Monte Carlo, transition density),
+- :mod:`repro.estimation.software_power` -- instruction-level model
+  and profile-driven program synthesis (II-A).
+"""
+
+from repro.estimation.entropy import (
+    entropy_of_probability,
+    marculescu_havg,
+    nemani_najm_havg,
+    cheng_agrawal_ctot,
+    ferrandi_ctot,
+    FerrandiModel,
+    entropy_power_estimate,
+    measured_io_entropies,
+)
+from repro.estimation.macromodel import (
+    PfaModel,
+    DualBitTypeModel,
+    BitwiseModel,
+    InputOutputModel,
+    Table3DModel,
+    CycleAccurateModel,
+    fit_macromodel,
+)
+from repro.estimation.sampling import (
+    census_power,
+    sampler_power,
+    adaptive_power,
+)
+
+__all__ = [
+    "entropy_of_probability",
+    "marculescu_havg",
+    "nemani_najm_havg",
+    "cheng_agrawal_ctot",
+    "ferrandi_ctot",
+    "FerrandiModel",
+    "entropy_power_estimate",
+    "measured_io_entropies",
+    "PfaModel",
+    "DualBitTypeModel",
+    "BitwiseModel",
+    "InputOutputModel",
+    "Table3DModel",
+    "CycleAccurateModel",
+    "fit_macromodel",
+    "census_power",
+    "sampler_power",
+    "adaptive_power",
+]

@@ -1,0 +1,90 @@
+"""Architectural-level CPU power estimation (Section II-A, [5], [6]).
+
+Sato et al. [5] characterize "the average capacitance that would
+switch when the given CPU module is activated"; Su et al. [6] add the
+switching activity on the address/instruction/data busses.  This
+module implements that style of estimate on top of the framework's
+machine: each architectural module (fetch/decode, register file, ALU,
+multiplier, load/store unit, cache) carries an effective switched
+capacitance per activation; a program's :class:`RunStats` supplies the
+activation counts and the measured instruction-bus toggles.
+
+It is deliberately coarser than the Tiwari instruction-level model
+(no inter-instruction terms), which the tests quantify — the paper's
+point that finer models buy accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.software.machine import RunStats
+
+#: Effective switched capacitance per activation, by module.  The
+#: values are calibrated once against the machine's energy model on a
+#: reference workload (see :func:`calibrate`), the counterpart of
+#: Sato's characterization measurements.
+DEFAULT_MODULE_CAPS: Dict[str, float] = {
+    "fetch_decode": 1.0,     # every instruction
+    "register_file": 0.6,    # every instruction with register traffic
+    "alu": 0.8,              # alu/alui class
+    "multiplier": 4.6,       # mul class
+    "lsu": 1.4,              # mem class (address datapath)
+    "cache_miss": 12.0,      # per miss (line fill)
+    "bus_bit": 0.04,         # per instruction-bus bit toggle
+}
+
+
+@dataclass
+class ArchitecturalModel:
+    """Per-module capacitance model of a processor."""
+
+    module_caps: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MODULE_CAPS))
+    vdd: float = 1.0
+
+    def activations(self, stats: RunStats) -> Dict[str, float]:
+        mix = stats.class_counts
+        reg_traffic = stats.instructions - mix.get("nop", 0)
+        return {
+            "fetch_decode": float(stats.instructions),
+            "register_file": float(reg_traffic),
+            "alu": float(mix.get("alu", 0) + mix.get("alui", 0)),
+            "multiplier": float(mix.get("mul", 0)),
+            "lsu": float(mix.get("mem", 0)),
+            "cache_miss": float(stats.cache_misses),
+            "bus_bit": float(stats.bus_toggles),
+        }
+
+    def estimate(self, stats: RunStats) -> float:
+        """Program energy: sum over modules of C_module x activations."""
+        counts = self.activations(stats)
+        return 0.5 * self.vdd * self.vdd * sum(
+            self.module_caps[m] * counts[m] for m in counts)
+
+    def breakdown(self, stats: RunStats) -> Dict[str, float]:
+        counts = self.activations(stats)
+        return {m: 0.5 * self.vdd * self.vdd
+                * self.module_caps[m] * counts[m] for m in counts}
+
+    def relative_error(self, stats: RunStats) -> float:
+        if stats.energy == 0:
+            return 0.0
+        return abs(self.estimate(stats) - stats.energy) / stats.energy
+
+
+def calibrate(reference_stats: RunStats,
+              base: Optional[Dict[str, float]] = None
+              ) -> ArchitecturalModel:
+    """Scale the module capacitances so the model matches one
+    reference workload's measured energy (single-point calibration, as
+    architectural models are calibrated against one die measurement).
+    """
+    model = ArchitecturalModel(dict(base or DEFAULT_MODULE_CAPS))
+    predicted = model.estimate(reference_stats)
+    if predicted > 0:
+        scale = reference_stats.energy / predicted
+        model.module_caps = {m: c * scale
+                             for m, c in model.module_caps.items()}
+    return model

@@ -1,0 +1,104 @@
+"""Cluster-based cycle-power estimation (Mehta et al. [43]).
+
+Pattern-accurate estimation by table lookup: input transitions are
+mapped to a small number of clusters (by Hamming-distance proximity of
+the concatenated previous/current vectors), and each cluster stores
+the average power of its training patterns.  The paper points out the
+approach's weakness — few clusters coarsen the estimate, and "mode
+changing bits" break the closeness assumption — which bench C5's
+comparison against the regression-based cycle model exposes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimation.macromodel import MacroModel, TrainingSet
+from repro.rtl.components import RtlComponent
+from repro.rtl.streams import WordStream
+
+
+def _pattern_bits(streams: Sequence[WordStream], t: int) -> np.ndarray:
+    """Concatenated (previous, current) input bits for cycle t."""
+    bits: List[float] = []
+    for s in streams:
+        for w in (s.words[t - 1], s.words[t]):
+            bits.extend(float((w >> i) & 1) for i in range(s.width))
+    return np.array(bits)
+
+
+class ClusterModel(MacroModel):
+    """K-medoid-style clustering of input transitions [43]."""
+
+    name = "cluster"
+
+    def __init__(self, n_clusters: int = 8, seed: int = 0) -> None:
+        self.n_clusters = n_clusters
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self.cluster_power: List[float] = []
+
+    # -- training -----------------------------------------------------
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        patterns: List[np.ndarray] = []
+        energies: List[float] = []
+        for streams in training:
+            length = min(len(s) for s in streams)
+            cycle_energy = component.cycle_energies(streams)
+            for t in range(1, length):
+                patterns.append(_pattern_bits(streams, t))
+                energies.append(cycle_energy[t - 1])
+        data = np.array(patterns)
+        target = np.array(energies)
+
+        rng = random.Random(self.seed)
+        k = min(self.n_clusters, len(data))
+        centroid_idx = rng.sample(range(len(data)), k)
+        centroids = data[centroid_idx].astype(float)
+        assignment = np.zeros(len(data), dtype=int)
+        for _iteration in range(12):
+            distances = np.array([
+                np.abs(data - c).sum(axis=1) for c in centroids])
+            new_assignment = distances.argmin(axis=0)
+            if np.array_equal(new_assignment, assignment) \
+                    and _iteration > 0:
+                break
+            assignment = new_assignment
+            for c in range(k):
+                members = data[assignment == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+        self.centroids = centroids
+        self.cluster_power = [
+            float(target[assignment == c].mean())
+            if np.any(assignment == c) else float(target.mean())
+            for c in range(k)
+        ]
+
+    # -- prediction ----------------------------------------------------
+    def _lookup(self, pattern: np.ndarray) -> float:
+        assert self.centroids is not None, "model not fitted"
+        distances = np.abs(self.centroids - pattern).sum(axis=1)
+        return self.cluster_power[int(distances.argmin())]
+
+    def predict_cycles(self, streams: Sequence[WordStream]) -> np.ndarray:
+        length = min(len(s) for s in streams)
+        return np.array([
+            self._lookup(_pattern_bits(streams, t))
+            for t in range(1, length)
+        ])
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        cycles = self.predict_cycles(streams)
+        return float(cycles.mean()) if len(cycles) else 0.0
+
+    def cycle_error(self, component: RtlComponent,
+                    streams: Sequence[WordStream]) -> float:
+        truth = np.array(component.cycle_energies(streams))
+        prediction = self.predict_cycles(streams)
+        scale = max(float(truth.mean()), 1e-12)
+        return float(np.sqrt(np.mean((prediction - truth) ** 2)) / scale)

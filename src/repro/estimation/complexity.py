@@ -1,0 +1,211 @@
+"""Complexity-based power and area models (Section II-B2).
+
+- :func:`gate_equivalent_power` -- the Chip Estimation System model
+  [14]:  P = f N (E_gate + 0.5 V^2 C_load) E_act,
+- :class:`LinearMeasure` / :func:`nemani_najm_area_model` -- the
+  Nemani-Najm area-complexity model [15]: the linear measure over
+  essential prime implicant sizes, regressed (exponential form)
+  against optimized-implementation area,
+- :func:`landman_rabaey_fsm_power` / :func:`fit_landman_rabaey` -- the
+  activity-sensitive controller model [17]:
+  P = 0.5 V^2 f (N_I C_I E_I + N_O C_O E_O) N_M with empirically
+  fitted capacitance coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.twolevel.quine_mccluskey import essential_primes, minimize
+
+
+# ----------------------------------------------------------------------
+# Chip estimation system (gate equivalents)
+# ----------------------------------------------------------------------
+
+def gate_equivalent_power(n_gate_equivalents: float,
+                          energy_gate: float = 1.0,
+                          c_load: float = 2.0,
+                          activity: float = 0.5,
+                          vdd: float = 1.0,
+                          freq: float = 1.0) -> float:
+    """CES model: Power = f N (Energy_gate + 0.5 V^2 C_load) E_gate."""
+    return freq * n_gate_equivalents * (
+        energy_gate + 0.5 * vdd * vdd * c_load) * activity
+
+
+def circuit_gate_equivalents(circuit) -> float:
+    """Gate-equivalent count of a netlist (area in NAND2 units)."""
+    return circuit.area()
+
+
+# ----------------------------------------------------------------------
+# Nemani-Najm area complexity
+# ----------------------------------------------------------------------
+
+def linear_measure(n: int, onset: Sequence[int],
+                   dc: Sequence[int] = ()) -> float:
+    """C_1(f): sum of essential-prime sizes weighted by covered mass.
+
+    ``c_i`` are the distinct essential prime sizes (in literals) and
+    ``p_i`` the probability mass of on-set minterms covered by
+    essential primes of size c_i but no larger prime (larger = fewer
+    literals = more minterms).
+    """
+    if not onset:
+        return 0.0
+    essentials = essential_primes(n, onset, dc)
+    if not essentials:
+        # Fall back: no essential primes; use the minimized cover.
+        essentials = list(minimize(n, list(onset), list(dc)))
+    total_minterms = 1 << n
+    # Group minterms by the *largest* covering essential prime (fewest
+    # literals), then weight each size class.
+    onset_set = set(onset)
+    best_size: Dict[int, int] = {}
+    for prime in essentials:
+        literals = prime.literals()
+        for minterm in prime.minterms():
+            if minterm not in onset_set:
+                continue
+            if minterm not in best_size or literals < best_size[minterm]:
+                best_size[minterm] = literals
+    measure = 0.0
+    by_size: Dict[int, int] = {}
+    for literals in best_size.values():
+        by_size[literals] = by_size.get(literals, 0) + 1
+    for literals, count in by_size.items():
+        p = count / total_minterms
+        measure += literals * p
+    return measure
+
+
+def area_complexity(n: int, onset: Sequence[int],
+                    dc: Sequence[int] = ()) -> float:
+    """C(f) = (C_1(f) + C_0(f)) / 2: average of on-set and off-set."""
+    allowed = set(onset) | set(dc)
+    offset = [m for m in range(1 << n) if m not in allowed]
+    return 0.5 * (linear_measure(n, onset, dc)
+                  + linear_measure(n, offset, dc))
+
+
+@dataclass
+class AreaModel:
+    """Exponential regression  area = a * exp(b * C(f))  [15]."""
+
+    a: float
+    b: float
+
+    def predict(self, complexity: float) -> float:
+        return self.a * math.exp(self.b * complexity)
+
+
+def nemani_najm_area_model(samples: Sequence[Tuple[float, float]]
+                           ) -> AreaModel:
+    """Fit the exponential regression from (complexity, area) pairs."""
+    xs = np.array([c for c, _a in samples], dtype=float)
+    ys = np.array([max(a, 1e-9) for _c, a in samples], dtype=float)
+    # Linear regression in log space.
+    design = np.vstack([xs, np.ones(len(xs))]).T
+    coeffs, *_ = np.linalg.lstsq(design, np.log(ys), rcond=None)
+    return AreaModel(a=float(math.exp(coeffs[1])), b=float(coeffs[0]))
+
+
+# ----------------------------------------------------------------------
+# Landman-Rabaey controller model
+# ----------------------------------------------------------------------
+
+@dataclass
+class LandmanRabaeyModel:
+    """Fitted capacitance coefficients C_I, C_O of the FSM model [17]."""
+
+    c_in: float
+    c_out: float
+
+    def predict(self, n_in: int, n_out: int, e_in: float, e_out: float,
+                n_minterms: int, vdd: float = 1.0, freq: float = 1.0
+                ) -> float:
+        return 0.5 * vdd * vdd * freq * (
+            n_in * self.c_in * e_in
+            + n_out * self.c_out * e_out) * n_minterms
+
+
+def landman_rabaey_features(stg, encoding, vectors_seed: int = 0,
+                            cycles: int = 300) -> Dict[str, float]:
+    """Measure the model's inputs for one synthesized controller.
+
+    N_I / N_O count external-plus-state lines; E_I / E_O their average
+    switching activities from simulation; N_M the minterm count of an
+    optimized cover of the FSM's combinational logic.
+    """
+    import random as _random
+
+    from repro.fsm.synthesis import synthesize_fsm
+    from repro.logic.simulate import collect_activity
+
+    circuit = synthesize_fsm(stg, encoding)
+    rng = _random.Random(vectors_seed)
+    vectors = [{f"in{i}": rng.randrange(2) for i in range(stg.n_inputs)}
+               for _ in range(cycles)]
+    report = collect_activity(circuit, vectors)
+
+    state_nets = [l.output for l in circuit.latches]
+    in_lines = [f"in{i}" for i in range(stg.n_inputs)] + state_nets
+    out_lines = [f"out{i}" for i in range(stg.n_outputs)] \
+        + [l.data for l in circuit.latches]
+    e_in = report.average_activity(in_lines)
+    e_out = report.average_activity(out_lines)
+
+    n_minterms = _fsm_cover_size(stg, encoding)
+    power = report.average_power()
+    return {
+        "n_in": len(in_lines),
+        "n_out": len(out_lines),
+        "e_in": e_in,
+        "e_out": e_out,
+        "n_minterms": n_minterms,
+        "measured_power": power,
+    }
+
+
+def _fsm_cover_size(stg, encoding) -> int:
+    """Cube count of minimized next-state + output covers."""
+    from repro.fsm.synthesis import _cube_minterms
+
+    complete = stg.completed()
+    ni, nb = complete.n_inputs, encoding.n_bits
+    n_vars = ni + nb
+    used = {encoding.codes[s] for s in complete.states}
+    dc = [m | (c << ni) for c in range(1 << nb) if c not in used
+          for m in range(1 << ni)]
+    total = 0
+    onsets: List[List[int]] = [[] for _ in range(nb + complete.n_outputs)]
+    for t in complete.transitions:
+        src = encoding.codes[t.src]
+        dst = encoding.codes[t.dst]
+        for m in _cube_minterms(t.input_cube):
+            full = m | (src << ni)
+            for j in range(nb):
+                if (dst >> j) & 1:
+                    onsets[j].append(full)
+            for j, ch in enumerate(t.output):
+                if ch == "1":
+                    onsets[nb + j].append(full)
+    for onset in onsets:
+        total += len(minimize(n_vars, onset, dc))
+    return max(1, total)
+
+
+def fit_landman_rabaey(samples: Sequence[Dict[str, float]]
+                       ) -> LandmanRabaeyModel:
+    """Least-squares fit of C_I and C_O over measured controllers."""
+    a = np.array([[s["n_in"] * s["e_in"] * s["n_minterms"],
+                   s["n_out"] * s["e_out"] * s["n_minterms"]]
+                  for s in samples], dtype=float)
+    y = np.array([s["measured_power"] / 0.5 for s in samples], dtype=float)
+    coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
+    return LandmanRabaeyModel(c_in=float(coeffs[0]), c_out=float(coeffs[1]))

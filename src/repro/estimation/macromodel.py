@@ -1,0 +1,422 @@
+"""Regression-based power macro-models (Section II-C1).
+
+The module implements the paper's accuracy ladder:
+
+- :class:`PfaModel`          -- power factor approximation [39]:
+  one constant per module, blind to data,
+- :class:`DualBitTypeModel`  -- Landman-Rabaey DBT [40]: separate
+  capacitance coefficients for white-noise bits and for each sign
+  transition type,
+- :class:`BitwiseModel`      -- per-input-pin capacitance times pin
+  activity,
+- :class:`InputOutputModel`  -- average input and output activities
+  (better for deeply nested modules like multipliers),
+- :class:`Table3DModel`      -- Gupta-Najm 3D lookup on (P_in, D_in,
+  D_out) [41],
+- :class:`CycleAccurateModel`-- Wu/Qiu statistical cycle model
+  [44], [45]: per-cycle regression with F-test forward variable
+  selection over bit values, bit transitions, and spatial-correlation
+  products.
+
+All models share the protocol  ``fit(component, training_sets)`` /
+``predict(streams)`` with power in energy-per-cycle units (vdd = 1,
+f = 1); training sets are lists of operand :class:`WordStream` lists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rtl.components import RtlComponent, output_words
+from repro.rtl.streams import (
+    WordStream,
+    average_activity,
+    bit_activities,
+    bit_probabilities,
+    sign_transition_counts,
+)
+
+TrainingSet = Sequence[Sequence[WordStream]]
+
+
+def _measured_power(component: RtlComponent,
+                    streams: Sequence[WordStream]) -> float:
+    return component.reference_power(streams)
+
+
+class MacroModel:
+    """Common fit/predict protocol."""
+
+    name = "base"
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        raise NotImplementedError
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        raise NotImplementedError
+
+    def error(self, component: RtlComponent,
+              streams: Sequence[WordStream]) -> float:
+        """Relative error vs gate-level reference on one stimulus."""
+        truth = _measured_power(component, streams)
+        if truth == 0:
+            return 0.0
+        return abs(self.predict(streams) - truth) / truth
+
+
+def _lstsq_nonneg_bias(features: np.ndarray, targets: np.ndarray
+                       ) -> np.ndarray:
+    coeffs, *_ = np.linalg.lstsq(features, targets, rcond=None)
+    return coeffs
+
+
+class PfaModel(MacroModel):
+    """Constant model: average power per activation [39]."""
+
+    name = "pfa"
+
+    def __init__(self) -> None:
+        self.constant = 0.0
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        values = [_measured_power(component, streams)
+                  for streams in training]
+        self.constant = float(np.mean(values)) if values else 0.0
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        return self.constant
+
+
+class DualBitTypeModel(MacroModel):
+    """DBT model [40]: white-noise region + sign-transition terms."""
+
+    name = "dbt"
+
+    def __init__(self, breakpoint_threshold: float = 0.25) -> None:
+        self.threshold = breakpoint_threshold
+        self.coeffs = np.zeros(5)
+
+    def _features(self, streams: Sequence[WordStream]) -> np.ndarray:
+        from repro.rtl.streams import breakpoints
+
+        f = np.zeros(5)
+        for s in streams:
+            bp = breakpoints(s, self.threshold)
+            acts = bit_activities(s)
+            n_u = bp
+            n_s = s.width - bp
+            if n_u:
+                f[0] += n_u * float(np.mean(acts[:n_u]))
+            if n_s and len(s) > 1:
+                counts = sign_transition_counts(s)
+                total = max(1, len(s) - 1)
+                f[1] += n_s * counts["++"] / total
+                f[2] += n_s * counts["+-"] / total
+                f[3] += n_s * counts["-+"] / total
+                f[4] += n_s * counts["--"] / total
+        return f
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        rows = np.array([self._features(streams) for streams in training])
+        targets = np.array([_measured_power(component, streams)
+                            for streams in training])
+        self.coeffs = _lstsq_nonneg_bias(rows, targets)
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        return float(max(0.0, self._features(streams) @ self.coeffs))
+
+
+class BitwiseModel(MacroModel):
+    """Per-input-pin capacitance regression: P = sum_i C_i E_i."""
+
+    name = "bitwise"
+
+    def __init__(self) -> None:
+        self.coeffs = np.zeros(0)
+
+    @staticmethod
+    def _features(streams: Sequence[WordStream]) -> np.ndarray:
+        feats: List[float] = []
+        for s in streams:
+            feats.extend(bit_activities(s))
+        feats.append(1.0)   # intercept
+        return np.array(feats)
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        rows = np.array([self._features(streams) for streams in training])
+        targets = np.array([_measured_power(component, streams)
+                            for streams in training])
+        self.coeffs = _lstsq_nonneg_bias(rows, targets)
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        return float(max(0.0, self._features(streams) @ self.coeffs))
+
+
+class InputOutputModel(MacroModel):
+    """P = C_I E_I + C_O E_O with functional output activity."""
+
+    name = "input-output"
+
+    def __init__(self) -> None:
+        self.coeffs = np.zeros(3)
+        self._component: Optional[RtlComponent] = None
+
+    def _features(self, component: RtlComponent,
+                  streams: Sequence[WordStream]) -> np.ndarray:
+        e_in = float(np.mean([average_activity(s) for s in streams]))
+        out = output_words(component, streams)
+        e_out = average_activity(out)
+        return np.array([e_in, e_out, 1.0])
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        self._component = component
+        rows = np.array([self._features(component, streams)
+                         for streams in training])
+        targets = np.array([_measured_power(component, streams)
+                            for streams in training])
+        self.coeffs = _lstsq_nonneg_bias(rows, targets)
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        if self._component is None:
+            raise RuntimeError("model not fitted")
+        feats = self._features(self._component, streams)
+        return float(max(0.0, feats @ self.coeffs))
+
+
+class Table3DModel(MacroModel):
+    """Gupta-Najm 3D table on (P_in, D_in, D_out) with interpolation [41].
+
+    The table is built by the automatic construction procedure the
+    paper describes: stimuli sampled over the (probability, activity)
+    plane, output activity from fast functional simulation, cell
+    averaging, and nearest-cell fallback for empty cells.
+    """
+
+    name = "table3d"
+
+    def __init__(self, bins: int = 5) -> None:
+        self.bins = bins
+        self._table: Dict[Tuple[int, int, int], float] = {}
+
+    def _axes(self, component: RtlComponent,
+              streams: Sequence[WordStream]) -> Tuple[float, float, float]:
+        p_in = float(np.mean([np.mean(bit_probabilities(s))
+                              for s in streams]))
+        d_in = float(np.mean([average_activity(s) for s in streams]))
+        out = output_words(component, streams)
+        d_out = average_activity(out)
+        return p_in, d_in, d_out
+
+    def _cell(self, axes: Tuple[float, float, float]) -> Tuple[int, int, int]:
+        return tuple(min(self.bins - 1, int(a * self.bins))
+                     for a in axes)  # type: ignore[return-value]
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        self._component = component
+        cells: Dict[Tuple[int, int, int], List[float]] = {}
+        for streams in training:
+            axes = self._axes(component, streams)
+            cells.setdefault(self._cell(axes), []).append(
+                _measured_power(component, streams))
+        self._table = {cell: float(np.mean(vals))
+                       for cell, vals in cells.items()}
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        axes = self._axes(self._component, streams)
+        cell = self._cell(axes)
+        if cell in self._table:
+            return self._table[cell]
+        # Nearest filled cell (Manhattan distance).
+        best = min(self._table,
+                   key=lambda c: sum(abs(a - b) for a, b in zip(c, cell)))
+        return self._table[best]
+
+
+# ----------------------------------------------------------------------
+# Cycle-accurate macro-modeling (Wu [44], Qiu [45])
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Candidate:
+    """One candidate regression variable over per-cycle data."""
+
+    label: str
+    column: np.ndarray
+
+
+class CycleAccurateModel(MacroModel):
+    """Per-cycle energy regression with F-test forward selection.
+
+    Candidate variables per input bit b: the current value x_b(t), the
+    transition indicator x_b(t-1) XOR x_b(t) (first-order temporal
+    correlation), and pairwise transition products for adjacent bits
+    (spatial correlation up to the paper's order-three spirit, kept
+    quadratic for tractability).  Forward selection adds the variable
+    with the largest partial F statistic until it drops below
+    ``f_threshold`` or ``max_variables`` is reached — the paper finds
+    ~8 variables suffice for 5-10% average error.
+    """
+
+    name = "cycle-accurate"
+
+    def __init__(self, max_variables: int = 8, f_threshold: float = 4.0,
+                 spatial_pairs: int = 8) -> None:
+        self.max_variables = max_variables
+        self.f_threshold = f_threshold
+        self.spatial_pairs = spatial_pairs
+        self.selected: List[str] = []
+        self.coeffs = np.zeros(0)
+        self._component: Optional[RtlComponent] = None
+
+    # -- feature construction ------------------------------------------
+    def _candidates(self, streams: Sequence[WordStream]
+                    ) -> List[_Candidate]:
+        length = min(len(s) for s in streams)
+        cands: List[_Candidate] = []
+        transitions: List[Tuple[str, np.ndarray]] = []
+        for si, s in enumerate(streams):
+            words = s.words[:length]
+            for b in range(s.width):
+                bits = np.array([(w >> b) & 1 for w in words], dtype=float)
+                value_col = bits[1:]
+                trans_col = np.abs(np.diff(bits))
+                cands.append(_Candidate(f"v{si}_{b}", value_col))
+                cands.append(_Candidate(f"t{si}_{b}", trans_col))
+                transitions.append((f"t{si}_{b}", trans_col))
+        # Spatial-correlation products between transition columns.
+        for i in range(min(self.spatial_pairs, len(transitions) - 1)):
+            la, ca = transitions[i]
+            lb, cb = transitions[i + 1]
+            cands.append(_Candidate(f"{la}*{lb}", ca * cb))
+        return cands
+
+    def fit(self, component: RtlComponent, training: TrainingSet) -> None:
+        self._component = component
+        # Concatenate per-cycle rows over all training runs.
+        all_cols: Dict[str, List[np.ndarray]] = {}
+        targets: List[np.ndarray] = []
+        labels: Optional[List[str]] = None
+        for streams in training:
+            cands = self._candidates(streams)
+            if labels is None:
+                labels = [c.label for c in cands]
+            energies = np.array(component.cycle_energies(streams))
+            targets.append(energies)
+            for c in cands:
+                all_cols.setdefault(c.label, []).append(c.column)
+        assert labels is not None
+        y = np.concatenate(targets)
+        matrix = {label: np.concatenate(all_cols[label])
+                  for label in labels}
+        self.selected, self.coeffs = self._forward_select(matrix, y)
+
+    def _forward_select(self, columns: Dict[str, np.ndarray],
+                        y: np.ndarray) -> Tuple[List[str], np.ndarray]:
+        n = len(y)
+        selected: List[str] = []
+        design = np.ones((n, 1))
+        residual_ss = float(((y - y.mean()) ** 2).sum())
+        coeffs = np.array([y.mean()])
+        while len(selected) < self.max_variables:
+            best_label = None
+            best_rss = residual_ss
+            best_coeffs = coeffs
+            for label, col in columns.items():
+                if label in selected:
+                    continue
+                trial = np.column_stack([design, col])
+                sol, *_ = np.linalg.lstsq(trial, y, rcond=None)
+                rss = float(((y - trial @ sol) ** 2).sum())
+                if rss < best_rss:
+                    best_rss = rss
+                    best_label = label
+                    best_coeffs = sol
+            if best_label is None:
+                break
+            dof = n - (len(selected) + 2)
+            if dof <= 0 or best_rss <= 0:
+                break
+            f_stat = (residual_ss - best_rss) / (best_rss / dof)
+            if f_stat < self.f_threshold:
+                break
+            selected.append(best_label)
+            design = np.column_stack([design, columns[best_label]])
+            residual_ss = best_rss
+            coeffs = best_coeffs
+        return selected, coeffs
+
+    # -- prediction -----------------------------------------------------
+    def predict_cycles(self, streams: Sequence[WordStream]) -> np.ndarray:
+        """Per-cycle energy predictions (cycle power of [45])."""
+        cands = {c.label: c.column for c in self._candidates(streams)}
+        length = min(len(s) for s in streams) - 1
+        design = np.ones((length, 1))
+        for label in self.selected:
+            design = np.column_stack([design, cands[label]])
+        return design @ self.coeffs
+
+    def predict(self, streams: Sequence[WordStream]) -> float:
+        return float(np.mean(self.predict_cycles(streams)))
+
+    def cycle_error(self, component: RtlComponent,
+                    streams: Sequence[WordStream]) -> float:
+        """RMS relative per-cycle error vs the gate-level reference."""
+        truth = np.array(component.cycle_energies(streams))
+        pred = self.predict_cycles(streams)
+        scale = max(float(truth.mean()), 1e-12)
+        return float(np.sqrt(np.mean((pred - truth) ** 2)) / scale)
+
+
+# ----------------------------------------------------------------------
+# Characterization helper (Section II-C1 step 1)
+# ----------------------------------------------------------------------
+
+def characterization_streams(component: RtlComponent, runs: int = 24,
+                             length: int = 120, seed: int = 0
+                             ) -> List[List[WordStream]]:
+    """Pseudorandom + correlated + biased training stimulus mix."""
+    from repro.rtl.streams import (
+        constant_stream,
+        correlated_stream,
+        random_stream,
+    )
+
+    rng = random.Random(seed)
+    training: List[List[WordStream]] = []
+    for r in range(runs):
+        streams: List[WordStream] = []
+        for pi, (_prefix, width) in enumerate(component.input_ports):
+            style = r % 4
+            s = rng.randrange(1 << 30)
+            if style == 0:
+                streams.append(random_stream(width, length, seed=s))
+            elif style == 1:
+                streams.append(random_stream(
+                    width, length, seed=s,
+                    bit_prob=rng.choice([0.1, 0.3, 0.7, 0.9])))
+            elif style == 2 and width > 1:
+                streams.append(correlated_stream(
+                    width, length, rho=rng.choice([0.7, 0.9, 0.98]),
+                    seed=s))
+            else:
+                streams.append(
+                    constant_stream(width, length, rng.randrange(1 << width))
+                    if rng.random() < 0.3
+                    else random_stream(width, length, seed=s))
+        training.append(streams)
+    return training
+
+
+def fit_macromodel(model: MacroModel, component: RtlComponent,
+                   training: Optional[TrainingSet] = None,
+                   seed: int = 0) -> MacroModel:
+    """Fit a macro-model, generating default characterization data."""
+    if training is None:
+        training = characterization_streams(component, seed=seed)
+    model.fit(component, training)
+    return model

@@ -1,0 +1,234 @@
+"""Parametric architectural power models (Section II-C1, Liu-Svensson
+[42]).
+
+Power of a processor's major structures expressed as closed-form
+functions of implementation parameters — no simulation, just the
+architecture's dimensions.  Implemented components, following the
+paper's description:
+
+- on-chip SRAM: cell array (the paper's quoted formula
+  ``P_memcell = 0.5 V V_swing 2^k (C_int + 2^{n-k} C_tr)``), row
+  decoder, word-line driver, column select, sense amplifiers,
+- busses and global interconnect (length-scaled wire capacitance),
+- H-tree clock network,
+- off-chip drivers,
+- random logic (gate-equivalent based) and datapath.
+
+All capacitances are in the framework's C0 units so parametric
+estimates are comparable with simulated netlists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Technology constants (normalized units, CMOS-trend ratios).
+CELL_WIRE_CAP = 0.08        # C_int: bit-line wire cap per cell
+CELL_DRAIN_CAP = 0.04       # C_tr: drain cap per cell on the bit line
+WORDLINE_CAP_PER_CELL = 0.12
+DECODER_GATE_CAP = 1.2
+SENSE_AMP_CAP = 3.0
+READOUT_INV_CAP = 1.0
+BUS_WIRE_CAP_PER_MM = 8.0
+OFFCHIP_PAD_CAP = 200.0
+CLOCK_WIRE_CAP_PER_MM = 6.0
+LOGIC_GATE_CAP = 2.0        # switched cap per gate equivalent per toggle
+
+
+@dataclass
+class MemoryArray:
+    """2^n words of ``word_bits`` bits in 2^(n-k) rows x 2^k columns."""
+
+    n: int                   # log2(total words)
+    k: int                   # log2(columns); 2^k cells per row per bit
+    word_bits: int = 1
+    vdd: float = 1.0
+    v_swing: float = 0.2     # reduced bit-line swing (read)
+
+    def __post_init__(self) -> None:
+        if self.k > self.n:
+            raise ValueError("more column bits than address bits")
+
+    @property
+    def rows(self) -> int:
+        return 1 << (self.n - self.k)
+
+    @property
+    def columns(self) -> int:
+        return 1 << self.k
+
+    # -- the five parts of the paper's memory model -------------------
+    def cell_array_energy(self) -> float:
+        """Paper's quoted formula: every cell on the selected row
+        drives bit or bit-bar during a read:
+        0.5 V V_swing 2^k (C_int + 2^{n-k} C_tr)."""
+        bitline_cap = CELL_WIRE_CAP * self.rows \
+            + CELL_DRAIN_CAP * self.rows
+        return 0.5 * self.vdd * self.v_swing * self.columns \
+            * self.word_bits * bitline_cap
+
+    def row_decoder_energy(self) -> float:
+        """(n-k)-input decode: ~2 gates toggle per decode level."""
+        levels = max(1, self.n - self.k)
+        return 0.5 * self.vdd * self.vdd \
+            * (2.0 * levels * DECODER_GATE_CAP)
+
+    def wordline_energy(self) -> float:
+        """Driving the selected row: one word line of 2^k cells/bit."""
+        cap = WORDLINE_CAP_PER_CELL * self.columns * self.word_bits
+        return 0.5 * self.vdd * self.vdd * cap
+
+    def column_select_energy(self) -> float:
+        """Column mux: k select levels per output bit."""
+        cap = DECODER_GATE_CAP * max(1, self.k) * self.word_bits
+        return 0.5 * self.vdd * self.vdd * cap
+
+    def sense_amplifier_energy(self) -> float:
+        """Sense amp plus readout inverter per output bit."""
+        return 0.5 * self.vdd * self.vdd \
+            * (SENSE_AMP_CAP + READOUT_INV_CAP) * self.word_bits
+
+    def read_energy(self) -> float:
+        """Total energy of one read access."""
+        return (self.cell_array_energy() + self.row_decoder_energy()
+                + self.wordline_energy() + self.column_select_energy()
+                + self.sense_amplifier_energy())
+
+    def write_energy(self) -> float:
+        """Writes drive full swing on the bit lines."""
+        full_swing = self.cell_array_energy() * (self.vdd / self.v_swing)
+        return (full_swing + self.row_decoder_energy()
+                + self.wordline_energy() + self.column_select_energy())
+
+    def optimal_aspect(self) -> int:
+        """k minimizing read energy for this capacity (organization
+        parameter the paper's model exists to explore)."""
+        best_k = 0
+        best = float("inf")
+        for k in range(self.n + 1):
+            candidate = MemoryArray(self.n, k, self.word_bits,
+                                    self.vdd, self.v_swing)
+            energy = candidate.read_energy()
+            if energy < best:
+                best = energy
+                best_k = k
+        return best_k
+
+
+@dataclass
+class Bus:
+    """On-chip bus of ``width`` lines and ``length_mm`` millimetres."""
+
+    width: int
+    length_mm: float
+    vdd: float = 1.0
+
+    def energy_per_transfer(self, activity: float = 0.5) -> float:
+        cap = BUS_WIRE_CAP_PER_MM * self.length_mm
+        return 0.5 * self.vdd * self.vdd * cap * self.width * activity
+
+
+@dataclass
+class OffChipDriver:
+    width: int
+    vdd: float = 1.0
+
+    def energy_per_transfer(self, activity: float = 0.5) -> float:
+        return 0.5 * self.vdd * self.vdd * OFFCHIP_PAD_CAP \
+            * self.width * activity
+
+
+@dataclass
+class ClockTree:
+    """H-tree clock distribution to ``n_leaves`` clocked elements."""
+
+    n_leaves: int
+    die_mm: float = 10.0
+    leaf_cap: float = 1.0
+    vdd: float = 1.0
+
+    def total_wire_mm(self) -> float:
+        """H-tree wire length: each level halves the span, doubles the
+        branch count; total ~ 1.5 x die span x sqrt(leaves)."""
+        levels = max(1, math.ceil(math.log2(max(2, self.n_leaves))))
+        total = 0.0
+        span = self.die_mm
+        branches = 1
+        for _ in range(levels):
+            total += span * branches
+            branches *= 2
+            span /= 2.0
+        return total
+
+    def energy_per_cycle(self) -> float:
+        cap = CLOCK_WIRE_CAP_PER_MM * self.total_wire_mm() \
+            + self.leaf_cap * self.n_leaves
+        # The clock makes two transitions per cycle.
+        return self.vdd * self.vdd * cap
+
+
+@dataclass
+class RandomLogicBlock:
+    gate_equivalents: float
+    activity: float = 0.15
+    vdd: float = 1.0
+
+    def energy_per_cycle(self) -> float:
+        return 0.5 * self.vdd * self.vdd * LOGIC_GATE_CAP \
+            * self.gate_equivalents * self.activity
+
+
+@dataclass
+class ProcessorModel:
+    """A typical processor assembled from the parametric components."""
+
+    memory: MemoryArray
+    data_bus: Bus
+    address_bus: Bus
+    clock: ClockTree
+    logic: RandomLogicBlock
+    offchip: Optional[OffChipDriver] = None
+    memory_reads_per_cycle: float = 0.3
+    memory_writes_per_cycle: float = 0.1
+    bus_transfers_per_cycle: float = 0.4
+    offchip_transfers_per_cycle: float = 0.02
+
+    def power_breakdown(self, freq: float = 1.0) -> Dict[str, float]:
+        parts = {
+            "memory": freq * (
+                self.memory_reads_per_cycle * self.memory.read_energy()
+                + self.memory_writes_per_cycle
+                * self.memory.write_energy()),
+            "busses": freq * self.bus_transfers_per_cycle * (
+                self.data_bus.energy_per_transfer()
+                + self.address_bus.energy_per_transfer()),
+            "clock": freq * self.clock.energy_per_cycle(),
+            "logic": freq * self.logic.energy_per_cycle(),
+        }
+        if self.offchip is not None:
+            parts["offchip"] = freq * self.offchip_transfers_per_cycle \
+                * self.offchip.energy_per_transfer()
+        return parts
+
+    def total_power(self, freq: float = 1.0) -> float:
+        return sum(self.power_breakdown(freq).values())
+
+
+def typical_processor(memory_kwords_log2: int = 12,
+                      word_bits: int = 32,
+                      vdd: float = 1.0) -> ProcessorModel:
+    """A representative configuration for exploration studies."""
+    n = memory_kwords_log2
+    memory = MemoryArray(n=n, k=MemoryArray(n, 0, word_bits,
+                                            vdd).optimal_aspect(),
+                         word_bits=word_bits, vdd=vdd)
+    return ProcessorModel(
+        memory=memory,
+        data_bus=Bus(width=word_bits, length_mm=6.0, vdd=vdd),
+        address_bus=Bus(width=n, length_mm=6.0, vdd=vdd),
+        clock=ClockTree(n_leaves=2000, die_mm=10.0, vdd=vdd),
+        logic=RandomLogicBlock(gate_equivalents=20000, vdd=vdd),
+        offchip=OffChipDriver(width=word_bits, vdd=vdd),
+    )

@@ -1,0 +1,186 @@
+"""Gate-level probabilistic and statistical estimation references.
+
+The paper's step 4 of the RT-level flow falls back to gate-level
+techniques for random logic; this module implements the cited
+families:
+
+- :func:`monte_carlo_power` -- the Burch et al. Monte Carlo approach
+  [32]: simulate random vector batches until the confidence interval
+  of the mean power is tight enough,
+- :func:`stratified_monte_carlo` -- stratified random sampling [33]:
+  input transitions are stratified by Hamming weight (a cheap proxy
+  correlated with per-cycle power), sampled proportionally, and the
+  per-stratum means combined — lower variance than simple random
+  sampling at equal budget,
+- :func:`transition_density`-- Najm's transition density propagation
+  [29]:  D(y) = sum_i P(dy/dx_i) D(x_i)  with Boolean differences
+  evaluated exactly on BDDs,
+- exact BDD-based switching estimates live in
+  :mod:`repro.logic.bdd_bridge`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bdd import BddManager
+from repro.logic.bdd_bridge import net_bdds
+from repro.logic.netlist import Circuit
+from repro.logic.simulate import collect_activity, random_vectors
+
+
+@dataclass
+class MonteCarloResult:
+    power: float
+    half_interval: float
+    batches: int
+    vectors_used: int
+
+
+def monte_carlo_power(circuit: Circuit, batch_size: int = 64,
+                      relative_precision: float = 0.05,
+                      confidence_z: float = 1.96,
+                      max_batches: int = 200, seed: int = 0
+                      ) -> MonteCarloResult:
+    """Batched Monte Carlo average-power estimation with a stopping
+    criterion:  stop when  z * s / (sqrt(k) * mean) < precision.
+    """
+    rng = random.Random(seed)
+    means: List[float] = []
+    used = 0
+    for k in range(1, max_batches + 1):
+        vectors = random_vectors(circuit.inputs, batch_size,
+                                 seed=rng.randrange(1 << 30))
+        report = collect_activity(circuit, vectors)
+        means.append(report.average_power())
+        used += batch_size
+        if k >= 4:
+            mean = sum(means) / k
+            var = sum((m - mean) ** 2 for m in means) / (k - 1)
+            half = confidence_z * math.sqrt(var / k)
+            if mean > 0 and half / mean < relative_precision:
+                return MonteCarloResult(mean, half, k, used)
+    mean = sum(means) / len(means)
+    var = sum((m - mean) ** 2 for m in means) / max(1, len(means) - 1)
+    half = confidence_z * math.sqrt(var / len(means))
+    return MonteCarloResult(mean, half, len(means), used)
+
+
+def transition_density(circuit: Circuit,
+                       input_densities: Optional[Dict[str, float]] = None,
+                       input_probs: Optional[Dict[str, float]] = None
+                       ) -> Dict[str, float]:
+    """Najm's transition densities for every net [29].
+
+    ``input_densities`` default to 0.5 transitions/cycle;
+    ``input_probs`` to 0.5.  The Boolean difference probability
+    P(dy/dx_i) is computed exactly on the net's BDD.
+    """
+    densities: Dict[str, float] = {}
+    probs = input_probs or {}
+    in_densities = input_densities or {}
+    bdds = net_bdds(circuit)
+
+    sources = list(circuit.inputs) + [l.output for l in circuit.latches]
+    for s in sources:
+        densities[s] = in_densities.get(s, 0.5)
+
+    for gate in circuit.topological_gates():
+        y = bdds[gate.output]
+        total = 0.0
+        support = set(y.support())
+        for x in support:
+            high = y.restrict({x: True})
+            low = y.restrict({x: False})
+            boolean_diff = high ^ low
+            sensitivity = boolean_diff.probability(probs)
+            total += sensitivity * densities.get(x, 0.5)
+        densities[gate.output] = total
+    return densities
+
+
+def density_power_estimate(circuit: Circuit,
+                           input_densities: Optional[Dict[str, float]]
+                           = None,
+                           vdd: float = 1.0, freq: float = 1.0) -> float:
+    """Power from transition densities and per-net load capacitance."""
+    densities = transition_density(circuit, input_densities)
+    fanout = circuit.fanout_map()
+    switched = sum(densities[net] * circuit.load_capacitance(net, fanout)
+                   for net in circuit.nets)
+    return 0.5 * vdd * vdd * freq * switched
+
+
+@dataclass
+class StratifiedResult:
+    power: float
+    strata_means: List[float]
+    strata_weights: List[float]
+    vectors_used: int
+
+
+def stratified_monte_carlo(circuit: Circuit, budget: int = 512,
+                           n_strata: int = 4, seed: int = 0
+                           ) -> StratifiedResult:
+    """Stratified sampling of per-transition power [33].
+
+    The population is the space of input *transitions* (pairs of
+    vectors); strata are bands of the pair's Hamming distance, whose
+    probabilities under uniform inputs follow the binomial law.  Each
+    stratum gets a share of the budget proportional to its weight and
+    contributes its sample mean of the per-cycle switched energy.
+    """
+    import math as _math
+
+    rng = random.Random(seed)
+    n = len(circuit.inputs)
+    fanout = circuit.fanout_map()
+    caps = {net: circuit.load_capacitance(net, fanout)
+            for net in circuit.nets}
+
+    # Strata: Hamming-distance bands with binomial weights.
+    bounds = [round(k * n / n_strata) for k in range(n_strata + 1)]
+    weights = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        w = sum(_math.comb(n, d) for d in range(lo, hi)) / (1 << n)
+        weights.append(w)
+    if bounds[-1] <= n:      # include distance == n in the last band
+        weights[-1] += _math.comb(n, n) / (1 << n) \
+            if bounds[-1] == n else 0.0
+
+    from repro.logic.simulate import evaluate
+
+    def cycle_energy(distance_band: int) -> float:
+        lo, hi = bounds[distance_band], bounds[distance_band + 1]
+        hi_inclusive = n if distance_band == n_strata - 1 else hi - 1
+        hi_inclusive = max(lo, hi_inclusive)
+        # Within a band, distances follow the conditional binomial law.
+        ds = list(range(lo, hi_inclusive + 1))
+        d = rng.choices(ds, [_math.comb(n, x) for x in ds])[0]
+        first = rng.randrange(1 << n)
+        flip_positions = rng.sample(range(n), min(d, n))
+        second = first
+        for pos in flip_positions:
+            second ^= 1 << pos
+        v1 = {name: (first >> i) & 1
+              for i, name in enumerate(circuit.inputs)}
+        v2 = {name: (second >> i) & 1
+              for i, name in enumerate(circuit.inputs)}
+        a = evaluate(circuit, v1)
+        b = evaluate(circuit, v2)
+        return 0.5 * sum(caps[net] for net in caps
+                         if a[net] != b[net])
+
+    strata_means: List[float] = []
+    used = 0
+    for k, weight in enumerate(weights):
+        share = max(4, int(budget * weight))
+        total = sum(cycle_energy(k) for _ in range(share))
+        strata_means.append(total / share)
+        used += share
+    power = sum(w * m for w, m in zip(weights, strata_means)) \
+        / max(1e-12, sum(weights))
+    return StratifiedResult(power, strata_means, weights, used)

@@ -1,0 +1,78 @@
+"""Tyagi's entropic bounds on FSM switching (Section II-B1, [13]).
+
+For an FSM with T states, steady-state transition probabilities p_ij,
+and any state encoding, the expected Hamming switching per cycle
+
+    sum_ij p_ij H(s_i, s_j)
+
+is lower bounded by expressions involving only the transition-
+probability entropy h(p_ij) and T.  The module implements the paper's
+tightest bound for sparse machines,
+
+    h(p) - 1.52 log T - 2.16 + 0.5 log log T,
+
+its sparsity condition  t <= 2.23 T^1.72 / sqrt(log T), and the
+measured quantity it bounds (encoding-independent verification is
+bench C3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.fsm.encoding import Encoding
+from repro.fsm.markov import transition_probabilities
+from repro.fsm.stg import STG
+
+
+def transition_probability_entropy(
+        probs: Dict[Tuple[str, str], float]) -> float:
+    """h(p_ij): entropy of the steady-state edge distribution (bits)."""
+    h = 0.0
+    total = sum(probs.values())
+    for p in probs.values():
+        q = p / total
+        if q > 0:
+            h -= q * math.log2(q)
+    return h
+
+
+def is_sparse(stg: STG,
+              probs: Optional[Dict[Tuple[str, str], float]] = None) -> bool:
+    """Paper's sparsity condition: t <= 2.23 T^1.72 / sqrt(log T)."""
+    if probs is None:
+        probs = transition_probabilities(stg)
+    t = sum(1 for p in probs.values() if p > 0)
+    big_t = stg.n_states
+    if big_t < 2:
+        return True
+    return t <= 2.23 * big_t ** 1.72 / math.sqrt(math.log2(big_t))
+
+
+def tyagi_lower_bound(stg: STG,
+                      bit_probs: Optional[Sequence[float]] = None) -> float:
+    """Tightest entropic lower bound on expected Hamming switching.
+
+    The bound can be negative for small machines (it is asymptotic);
+    callers should clamp at 0 when using it as a physical bound.
+    """
+    probs = transition_probabilities(stg, bit_probs)
+    h = transition_probability_entropy(probs)
+    big_t = max(2, stg.n_states)
+    log_t = math.log2(big_t)
+    return h - 1.52 * log_t - 2.16 + 0.5 * math.log2(max(log_t, 1e-12))
+
+
+def expected_hamming_switching(stg: STG, encoding: Encoding,
+                               bit_probs: Optional[Sequence[float]] = None
+                               ) -> float:
+    """The measured quantity: sum_ij p_ij H(E(i), E(j)).
+
+    Unlike :func:`repro.fsm.encoding.encoding_switching_cost` this
+    includes self-loops (which contribute 0), matching the bound's
+    summation over all state pairs.
+    """
+    probs = transition_probabilities(stg, bit_probs)
+    return sum(p * encoding.hamming(a, b) for (a, b), p in probs.items())

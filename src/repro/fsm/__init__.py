@@ -1,0 +1,51 @@
+"""Finite-state machines and state transition graphs.
+
+Substrate for the controller-oriented parts of the survey:
+
+- :mod:`repro.fsm.stg`       -- Mealy STG model and structural queries,
+- :mod:`repro.fsm.kiss`      -- KISS2 parsing plus built-in benchmarks,
+- :mod:`repro.fsm.markov`    -- steady-state/transition probabilities
+  (the Markovian analysis of [96], exact and iterative),
+- :mod:`repro.fsm.minimize`  -- state minimization by partition
+  refinement (Section III-H "restructuring"),
+- :mod:`repro.fsm.encoding`  -- low-power state assignment: hypercube
+  embedding weighted by transition probabilities ([90]-[95]),
+- :mod:`repro.fsm.synthesis` -- encoded STG to gate-level netlist,
+- :mod:`repro.fsm.decompose` -- interacting-FSM decomposition with
+  shutdown of the inactive submachine ([86], [87]).
+"""
+
+from repro.fsm.stg import STG, Transition
+from repro.fsm.kiss import read_kiss, write_kiss, benchmark, benchmark_names
+from repro.fsm.markov import stationary_distribution, transition_probabilities
+from repro.fsm.encoding import (
+    Encoding,
+    binary_encoding,
+    gray_encoding,
+    one_hot_encoding,
+    random_encoding,
+    low_power_encoding,
+    encoding_switching_cost,
+)
+from repro.fsm.minimize import minimize_states
+from repro.fsm.synthesis import synthesize_fsm
+
+__all__ = [
+    "STG",
+    "Transition",
+    "read_kiss",
+    "write_kiss",
+    "benchmark",
+    "benchmark_names",
+    "stationary_distribution",
+    "transition_probabilities",
+    "Encoding",
+    "binary_encoding",
+    "gray_encoding",
+    "one_hot_encoding",
+    "random_encoding",
+    "low_power_encoding",
+    "encoding_switching_cost",
+    "minimize_states",
+    "synthesize_fsm",
+]

@@ -1,0 +1,217 @@
+"""State assignment (encoding) for low power.
+
+Implements the family of encoding strategies compared in Section
+III-H: the problem is embedding the STG into a hypercube so that
+high-probability transitions connect states at low Hamming distance
+([90]-[95]).  Besides the classical baselines (binary, Gray order,
+one-hot, random), :func:`low_power_encoding` performs the
+probability-weighted embedding with a greedy constructive phase
+followed by simulated-annealing improvement — the "standard search
+techniques" the paper refers to.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fsm.markov import transition_probabilities
+from repro.fsm.stg import STG
+
+
+@dataclass
+class Encoding:
+    """Assignment of binary codes to states."""
+
+    codes: Dict[str, int]
+    n_bits: int
+    strategy: str = "custom"
+
+    def code_string(self, state: str) -> str:
+        return format(self.codes[state], f"0{self.n_bits}b")[::-1]
+
+    def hamming(self, a: str, b: str) -> int:
+        return bin(self.codes[a] ^ self.codes[b]).count("1")
+
+
+def min_bits(n_states: int) -> int:
+    return max(1, (n_states - 1).bit_length())
+
+
+def binary_encoding(stg: STG) -> Encoding:
+    """States numbered in declaration order."""
+    bits = min_bits(stg.n_states)
+    return Encoding({s: i for i, s in enumerate(stg.states)}, bits, "binary")
+
+
+def _gray(i: int) -> int:
+    return i ^ (i >> 1)
+
+
+def gray_encoding(stg: STG) -> Encoding:
+    """States assigned consecutive Gray codes in declaration order."""
+    bits = min_bits(stg.n_states)
+    return Encoding({s: _gray(i) for i, s in enumerate(stg.states)}, bits,
+                    "gray")
+
+
+def one_hot_encoding(stg: STG) -> Encoding:
+    return Encoding({s: 1 << i for i, s in enumerate(stg.states)},
+                    stg.n_states, "one-hot")
+
+
+def random_encoding(stg: STG, seed: int = 0,
+                    n_bits: Optional[int] = None) -> Encoding:
+    bits = n_bits or min_bits(stg.n_states)
+    if (1 << bits) < stg.n_states:
+        raise ValueError("not enough code bits for the state count")
+    rng = random.Random(seed)
+    codes = rng.sample(range(1 << bits), stg.n_states)
+    return Encoding(dict(zip(stg.states, codes)), bits, "random")
+
+
+def encoding_switching_cost(stg: STG, encoding: Encoding,
+                            bit_probs: Optional[Sequence[float]] = None,
+                            probs: Optional[Dict[Tuple[str, str], float]]
+                            = None) -> float:
+    """Expected state-line Hamming switching per cycle.
+
+    This is the canonical cost  sum_ij p_ij H(E(i), E(j))  that all the
+    cited encoding papers minimize (and that the Tyagi bound lower
+    bounds).
+    """
+    if probs is None:
+        probs = transition_probabilities(stg, bit_probs)
+    return sum(p * encoding.hamming(a, b) for (a, b), p in probs.items()
+               if a != b)
+
+
+def low_power_encoding(stg: STG,
+                       bit_probs: Optional[Sequence[float]] = None,
+                       n_bits: Optional[int] = None,
+                       seed: int = 0,
+                       anneal_steps: int = 4000,
+                       use_annealing: bool = True) -> Encoding:
+    """Probability-weighted hypercube embedding.
+
+    Greedy phase: states in decreasing total edge weight claim the free
+    code at minimum weighted Hamming distance from already-placed
+    neighbours.  Annealing phase: pairwise code swaps (including swaps
+    with unused codes) under a geometric cooling schedule.
+
+    Set ``use_annealing=False`` for the greedy-only ablation.
+    """
+    bits = n_bits or min_bits(stg.n_states)
+    if (1 << bits) < stg.n_states:
+        raise ValueError("not enough code bits for the state count")
+    probs = transition_probabilities(stg, bit_probs)
+
+    # Symmetric weights between distinct states.
+    weight: Dict[Tuple[str, str], float] = {}
+    for (a, b), p in probs.items():
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        weight[key] = weight.get(key, 0.0) + p
+
+    def w(a: str, b: str) -> float:
+        return weight.get((a, b) if a < b else (b, a), 0.0)
+
+    # ---- greedy constructive phase ----
+    totals = {s: 0.0 for s in stg.states}
+    for (a, b), p in weight.items():
+        totals[a] += p
+        totals[b] += p
+    order = sorted(stg.states, key=lambda s: -totals[s])
+    free = set(range(1 << bits))
+    codes: Dict[str, int] = {}
+    for state in order:
+        placed = [(other, codes[other]) for other in codes
+                  if w(state, other) > 0]
+        if not placed:
+            code = min(free)
+        else:
+            def cost_of(candidate: int) -> float:
+                return sum(w(state, other)
+                           * bin(candidate ^ c).count("1")
+                           for other, c in placed)
+            code = min(free, key=cost_of)
+        codes[state] = code
+        free.discard(code)
+
+    def total_cost(assign: Dict[str, int]) -> float:
+        return sum(p * bin(assign[a] ^ assign[b]).count("1")
+                   for (a, b), p in weight.items())
+
+    if not use_annealing:
+        return Encoding(codes, bits, "low-power-greedy")
+
+    # ---- simulated-annealing improvement ----
+    rng = random.Random(seed)
+    states = list(stg.states)
+    pool = states + [None] * len(free)   # None slots are unused codes
+    free_codes = sorted(free)
+    current = total_cost(codes)
+    best = dict(codes)
+    best_cost = current
+    t0 = max(current, 1e-6)
+    for step in range(anneal_steps):
+        temp = t0 * (0.995 ** step) + 1e-9
+        a = rng.choice(states)
+        b = rng.choice(pool)
+        if b is a:
+            continue
+        if b is None:
+            if not free_codes:
+                continue
+            idx = rng.randrange(len(free_codes))
+            new_code = free_codes[idx]
+            old_code = codes[a]
+            delta = _swap_delta(codes, weight, a, new_code)
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                codes[a] = new_code
+                free_codes[idx] = old_code
+                current += delta
+        else:
+            delta = _pair_swap_delta(codes, weight, a, b)
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                codes[a], codes[b] = codes[b], codes[a]
+                current += delta
+        if current < best_cost - 1e-12:
+            best_cost = current
+            best = dict(codes)
+    return Encoding(best, bits, "low-power-annealed")
+
+
+def _swap_delta(codes: Dict[str, int],
+                weight: Dict[Tuple[str, str], float],
+                state: str, new_code: int) -> float:
+    old_code = codes[state]
+    delta = 0.0
+    for (a, b), p in weight.items():
+        if a == state:
+            other = codes[b]
+        elif b == state:
+            other = codes[a]
+        else:
+            continue
+        delta += p * (bin(new_code ^ other).count("1")
+                      - bin(old_code ^ other).count("1"))
+    return delta
+
+
+def _pair_swap_delta(codes: Dict[str, int],
+                     weight: Dict[Tuple[str, str], float],
+                     sa: str, sb: str) -> float:
+    ca, cb = codes[sa], codes[sb]
+    delta = 0.0
+    for (a, b), p in weight.items():
+        old = bin(codes[a] ^ codes[b]).count("1")
+        na = cb if a == sa else (ca if a == sb else codes[a])
+        nb = cb if b == sa else (ca if b == sb else codes[b])
+        new = bin(na ^ nb).count("1")
+        if new != old:
+            delta += p * (new - old)
+    return delta

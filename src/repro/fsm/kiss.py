@@ -1,0 +1,244 @@
+"""KISS2 FSM interchange format and built-in benchmark suite.
+
+The paper's encoding experiments run over MCNC-style FSM benchmarks;
+since those files cannot be redistributed here, the module ships a
+suite of comparable controllers (traffic-light, handshake protocol
+with wait states, sequence detectors, counters, arbiters) plus a
+random-STG generator, all exposed through :func:`benchmark`.
+
+KISS2 convention used: in an input cube, character ``i`` corresponds
+to input bit ``i`` (LSB first), matching :class:`repro.fsm.stg.STG`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, TextIO
+
+from repro.fsm.stg import STG
+
+
+def read_kiss(stream: TextIO, name: str = "fsm") -> STG:
+    n_inputs = n_outputs = 0
+    reset: Optional[str] = None
+    rows: List[List[str]] = []
+    for raw in stream:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == ".i":
+            n_inputs = int(tokens[1])
+        elif tokens[0] == ".o":
+            n_outputs = int(tokens[1])
+        elif tokens[0] == ".r":
+            reset = tokens[1]
+        elif tokens[0] in (".s", ".p"):
+            continue
+        elif tokens[0] in (".e", ".end"):
+            break
+        elif not tokens[0].startswith("."):
+            rows.append(tokens)
+    stg = STG(name, n_inputs, n_outputs, reset)
+    for cube, src, dst, output in rows:
+        stg.add_transition(cube, src, dst, output)
+    if reset is not None:
+        stg.reset_state = reset
+    return stg
+
+
+def read_kiss_string(text: str, name: str = "fsm") -> STG:
+    import io
+
+    return read_kiss(io.StringIO(text), name)
+
+
+def write_kiss(stg: STG, stream: TextIO) -> None:
+    stream.write(f".i {stg.n_inputs}\n.o {stg.n_outputs}\n")
+    stream.write(f".s {stg.n_states}\n.p {len(stg.transitions)}\n")
+    if stg.reset_state is not None:
+        stream.write(f".r {stg.reset_state}\n")
+    for t in stg.transitions:
+        stream.write(f"{t.input_cube} {t.src} {t.dst} {t.output}\n")
+    stream.write(".e\n")
+
+
+# ----------------------------------------------------------------------
+# Built-in benchmark suite
+# ----------------------------------------------------------------------
+
+_TRAFFIC = """
+.i 2
+.o 3
+.r GREEN
+# inputs: (car_waiting, timer_done); outputs: (green, yellow, red)
+-0 GREEN GREEN 100
+01 GREEN GREEN 100
+11 GREEN YELLOW 010
+-0 YELLOW YELLOW 010
+-1 YELLOW RED 001
+-0 RED RED 001
+-1 RED GREEN 100
+.e
+"""
+
+_HANDSHAKE = """
+.i 2
+.o 2
+.r IDLE
+# inputs: (req, ack); outputs: (busy, done) -- long waits in IDLE/WAIT
+0- IDLE IDLE 00
+1- IDLE SETUP 10
+-- SETUP WAIT 10
+-0 WAIT WAIT 10
+-1 WAIT DONE 01
+1- DONE DONE 01
+0- DONE IDLE 00
+.e
+"""
+
+_SEQ101 = """
+.i 1
+.o 1
+.r S0
+# Mealy detector for the serial pattern 101 (overlapping)
+0 S0 S0 0
+1 S0 S1 0
+0 S1 S2 0
+1 S1 S1 0
+0 S2 S0 0
+1 S2 S1 1
+.e
+"""
+
+_GRAYCTR = """
+.i 1
+.o 2
+.r G0
+# 2-bit Gray-sequence counter with enable
+0 G0 G0 00
+1 G0 G1 01
+0 G1 G1 01
+1 G1 G2 11
+0 G2 G2 11
+1 G2 G3 10
+0 G3 G3 10
+1 G3 G0 00
+.e
+"""
+
+_ARBITER = """
+.i 2
+.o 2
+.r NONE
+# round-robin 2-master bus arbiter; inputs (req0, req1), outputs (gnt0, gnt1)
+00 NONE NONE 00
+1- NONE M0 10
+01 NONE M1 01
+1- M0 M0 10
+01 M0 M1 01
+00 M0 NONE 00
+-1 M1 M1 01
+10 M1 M0 10
+00 M1 NONE 00
+.e
+"""
+
+_WAITER = """
+.i 2
+.o 1
+.r SLEEP
+# mostly-idle reactive controller: wakes on in0, works 3 cycles, sleeps
+0- SLEEP SLEEP 0
+1- SLEEP W1 1
+-- W1 W2 1
+-- W2 W3 1
+-0 W3 SLEEP 0
+-1 W3 W1 1
+.e
+"""
+
+_DK_LIKE = """
+.i 1
+.o 2
+.r A
+# small dense machine in the style of MCNC dk27
+0 A B 00
+1 A C 01
+0 B D 01
+1 B A 10
+0 C A 10
+1 C D 11
+0 D C 11
+1 D B 00
+.e
+"""
+
+_BBSSE_LIKE = """
+.i 3
+.o 2
+.r ST0
+# branching controller with a dominant idle loop
+0-- ST0 ST0 00
+1-0 ST0 ST1 01
+1-1 ST0 ST2 10
+--- ST1 ST3 01
+--- ST2 ST3 10
+-0- ST3 ST0 00
+-1- ST3 ST4 11
+--0 ST4 ST0 00
+--1 ST4 ST1 01
+.e
+"""
+
+_BENCHMARKS: Dict[str, str] = {
+    "traffic": _TRAFFIC,
+    "handshake": _HANDSHAKE,
+    "seq101": _SEQ101,
+    "grayctr": _GRAYCTR,
+    "arbiter": _ARBITER,
+    "waiter": _WAITER,
+    "dk_like": _DK_LIKE,
+    "bbsse_like": _BBSSE_LIKE,
+}
+
+
+def benchmark_names() -> List[str]:
+    return sorted(_BENCHMARKS)
+
+
+def benchmark(name: str) -> STG:
+    """Load a built-in benchmark FSM by name."""
+    try:
+        text = _BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown FSM benchmark {name!r}; known: {benchmark_names()}"
+        ) from None
+    return read_kiss_string(text, name)
+
+
+def random_stg(n_states: int, n_inputs: int, n_outputs: int,
+               seed: int = 0, self_loop_bias: float = 0.0,
+               name: Optional[str] = None) -> STG:
+    """Random completely specified deterministic Mealy machine.
+
+    ``self_loop_bias`` is the probability mass shifted toward staying
+    in the current state, letting experiments dial in idle-dominated
+    (gating-friendly) behaviour.
+    """
+    rng = random.Random(seed)
+    stg = STG(name or f"rand{n_states}_{seed}", n_inputs, n_outputs)
+    states = [f"s{i}" for i in range(n_states)]
+    for s in states:
+        stg.add_state(s)
+    for s in states:
+        for m in range(1 << n_inputs):
+            cube = format(m, f"0{n_inputs}b")[::-1] if n_inputs else ""
+            if rng.random() < self_loop_bias:
+                dst = s
+            else:
+                dst = rng.choice(states)
+            output = "".join(str(rng.randrange(2)) for _ in range(n_outputs))
+            stg.add_transition(cube, s, dst, output)
+    return stg

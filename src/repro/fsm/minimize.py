@@ -1,0 +1,90 @@
+"""State minimization by partition refinement.
+
+Implements the classical equivalence-class computation for completely
+specified Mealy machines (the "restructuring" transformation of
+Section III-H, cf. [88]): two states are equivalent iff they produce
+the same output and transition to equivalent states for every input
+minterm.  The STG is completed (self-loop, all-zero output) before
+refinement, matching the simulation semantics of
+:class:`repro.fsm.stg.STG`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fsm.stg import STG, Transition
+
+
+def equivalence_classes(stg: STG) -> List[List[str]]:
+    """Partition of the states into equivalence classes."""
+    complete = stg.completed()
+    minterms = list(range(1 << complete.n_inputs))
+
+    # Resolve each state's behaviour per input minterm once.
+    behaviour: Dict[str, List[Tuple[str, str]]] = {}
+    for state in complete.states:
+        behaviour[state] = [complete.step(state, m) for m in minterms]
+
+    # Initial partition by output signature.
+    def output_signature(state: str) -> Tuple[str, ...]:
+        return tuple(out for _nxt, out in behaviour[state])
+
+    block_of: Dict[str, int] = {}
+    signatures: Dict[Tuple, int] = {}
+    for state in complete.states:
+        sig = output_signature(state)
+        if sig not in signatures:
+            signatures[sig] = len(signatures)
+        block_of[state] = signatures[sig]
+
+    # Refine until stable.
+    while True:
+        new_sigs: Dict[Tuple, int] = {}
+        new_block: Dict[str, int] = {}
+        for state in complete.states:
+            sig = (block_of[state],
+                   tuple(block_of[nxt] for nxt, _out in behaviour[state]))
+            if sig not in new_sigs:
+                new_sigs[sig] = len(new_sigs)
+            new_block[state] = new_sigs[sig]
+        if len(new_sigs) == len(set(block_of.values())):
+            block_of = new_block
+            break
+        block_of = new_block
+
+    classes: Dict[int, List[str]] = {}
+    for state in complete.states:
+        classes.setdefault(block_of[state], []).append(state)
+    return list(classes.values())
+
+
+def minimize_states(stg: STG) -> STG:
+    """Return an equivalent machine with one state per class.
+
+    Class representatives keep the name of their first member;
+    transitions are taken from the representative and redirected to
+    class representatives.
+    """
+    classes = equivalence_classes(stg)
+    representative: Dict[str, str] = {}
+    for members in classes:
+        rep = members[0]
+        for state in members:
+            representative[state] = rep
+
+    reduced = STG(f"{stg.name}_min", stg.n_inputs, stg.n_outputs)
+    reps = {representative[s] for s in stg.states}
+    # Preserve declaration order for stable encodings downstream.
+    for state in stg.states:
+        if state in reps:
+            reduced.add_state(state)
+    complete = stg.completed()
+    for t in complete.transitions:
+        if representative[t.src] != t.src:
+            continue
+        reduced.transitions.append(
+            Transition(t.input_cube, t.src, representative[t.dst], t.output))
+    if stg.reset_state is not None:
+        reduced.reset_state = representative[stg.reset_state]
+    return reduced

@@ -1,0 +1,185 @@
+"""Mealy state transition graph model.
+
+States are symbolic names; transitions carry an input cube (string over
+``{0,1,-}``) and an output string (over ``{0,1,-}``).  The model is the
+explicit STG of Section III-H; symbolic (BDD) analyses are layered on
+top via :mod:`repro.fsm.synthesis` and :mod:`repro.logic.bdd_bridge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Edge of the STG: on ``input_cube`` from ``src`` go to ``dst``."""
+
+    input_cube: str
+    src: str
+    dst: str
+    output: str
+
+    def matches(self, input_bits: int) -> bool:
+        """Does this transition fire for the given input minterm?
+
+        Bit i of ``input_bits`` corresponds to character i of the cube.
+        """
+        for i, ch in enumerate(self.input_cube):
+            bit = (input_bits >> i) & 1
+            if ch == "1" and bit != 1:
+                return False
+            if ch == "0" and bit != 0:
+                return False
+        return True
+
+    def input_fraction(self, bit_probs: Optional[Sequence[float]] = None
+                       ) -> float:
+        """Probability of the input cube under independent input bits."""
+        p = 1.0
+        for i, ch in enumerate(self.input_cube):
+            q = bit_probs[i] if bit_probs is not None else 0.5
+            if ch == "1":
+                p *= q
+            elif ch == "0":
+                p *= 1.0 - q
+        return p
+
+
+class STG:
+    """A deterministic Mealy machine given as an explicit STG."""
+
+    def __init__(self, name: str, n_inputs: int, n_outputs: int,
+                 reset_state: Optional[str] = None) -> None:
+        self.name = name
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.states: List[str] = []
+        self.transitions: List[Transition] = []
+        self.reset_state = reset_state
+
+    # ------------------------------------------------------------------
+    def add_state(self, state: str) -> str:
+        if state not in self.states:
+            self.states.append(state)
+            if self.reset_state is None:
+                self.reset_state = state
+        return state
+
+    def add_transition(self, input_cube: str, src: str, dst: str,
+                       output: str) -> Transition:
+        if len(input_cube) != self.n_inputs:
+            raise ValueError(
+                f"input cube {input_cube!r} width != {self.n_inputs}")
+        if len(output) != self.n_outputs:
+            raise ValueError(f"output {output!r} width != {self.n_outputs}")
+        self.add_state(src)
+        self.add_state(dst)
+        t = Transition(input_cube, src, dst, output)
+        self.transitions.append(t)
+        return t
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def transitions_from(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+    def step(self, state: str, input_bits: int) -> Tuple[str, str]:
+        """Next state and output for an input minterm.
+
+        Unspecified input combinations self-loop with all-don't-care
+        output (a common completion convention).
+        """
+        for t in self.transitions_from(state):
+            if t.matches(input_bits):
+                return t.dst, t.output
+        return state, "-" * self.n_outputs
+
+    def simulate(self, inputs: Iterable[int],
+                 start: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Run an input-minterm sequence; returns (next_state, output)."""
+        state = start or self.reset_state
+        if state is None:
+            raise ValueError("STG has no states")
+        trace: List[Tuple[str, str]] = []
+        for bits in inputs:
+            state, out = self.step(state, bits)
+            trace.append((state, out))
+        return trace
+
+    def is_deterministic(self) -> bool:
+        """No state has two transitions firing on a common minterm."""
+        for state in self.states:
+            outgoing = self.transitions_from(state)
+            for i, a in enumerate(outgoing):
+                for b in outgoing[i + 1:]:
+                    if self._cubes_intersect(a.input_cube, b.input_cube):
+                        return False
+        return True
+
+    def is_complete(self) -> bool:
+        """Every state covers every input minterm."""
+        for state in self.states:
+            outgoing = self.transitions_from(state)
+            for m in range(1 << self.n_inputs):
+                if not any(t.matches(m) for t in outgoing):
+                    return False
+        return True
+
+    @staticmethod
+    def _cubes_intersect(a: str, b: str) -> bool:
+        return all(x == "-" or y == "-" or x == y for x, y in zip(a, b))
+
+    def reachable_states(self, start: Optional[str] = None) -> Set[str]:
+        start = start or self.reset_state
+        if start is None:
+            return set()
+        seen = {start}
+        frontier = [start]
+        adjacency: Dict[str, Set[str]] = {}
+        for t in self.transitions:
+            adjacency.setdefault(t.src, set()).add(t.dst)
+        while frontier:
+            state = frontier.pop()
+            for nxt in adjacency.get(state, ()):  # pragma: no branch
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def self_loop_fraction(self) -> float:
+        """Fraction of transitions that are self-loops (idle behaviour).
+
+        High values indicate good gated-clock candidates (Section III-I).
+        """
+        if not self.transitions:
+            return 0.0
+        loops = sum(1 for t in self.transitions if t.src == t.dst)
+        return loops / len(self.transitions)
+
+    def completed(self) -> "STG":
+        """Return a completely specified copy (self-loops, 0 outputs)."""
+        copy = STG(self.name, self.n_inputs, self.n_outputs,
+                   self.reset_state)
+        for s in self.states:
+            copy.add_state(s)
+        copy.transitions = list(self.transitions)
+        for state in self.states:
+            outgoing = self.transitions_from(state)
+            for m in range(1 << self.n_inputs):
+                if not any(t.matches(m) for t in outgoing):
+                    cube = format(m, f"0{self.n_inputs}b")[::-1] \
+                        if self.n_inputs else ""
+                    copy.transitions.append(
+                        Transition(cube, state, state,
+                                   "0" * self.n_outputs))
+        return copy
+
+    def __repr__(self) -> str:
+        return (f"STG({self.name!r}, states={self.n_states}, "
+                f"in={self.n_inputs}, out={self.n_outputs}, "
+                f"edges={len(self.transitions)})")

@@ -1,0 +1,143 @@
+"""Symbolic (BDD-based) sequential analysis (Section III-H).
+
+For controllers too large to enumerate explicitly, the paper's line of
+work manipulates the transition relation with BDDs: reachability by
+implicit image computation, state probabilities without enumerating
+edges, and re-encoding of already-encoded machines.  This module
+implements those primitives on the framework's netlists:
+
+- :func:`transition_relation`   -- T(x, s, s') of a sequential circuit,
+- :func:`reachable_states`      -- least fixpoint of the image from
+  the reset state (the classic symbolic traversal),
+- :func:`extract_stg`           -- explicit STG recovered from a
+  netlist (reachable part only), enabling *re-encoding* [95]: an
+  existing implementation's machine is pulled back out, re-encoded for
+  low power, and re-synthesized,
+- :func:`reencode_circuit`      -- the full re-encoding flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd import Bdd, BddManager
+from repro.fsm.encoding import Encoding, low_power_encoding
+from repro.fsm.stg import STG
+from repro.logic.bdd_bridge import net_bdds
+from repro.logic.netlist import Circuit
+
+
+def transition_relation(circuit: Circuit, mgr: Optional[BddManager] = None
+                        ) -> Tuple[BddManager, Bdd, List[str], List[str]]:
+    """T(inputs, state, next_state) for a sequential netlist.
+
+    Returns (manager, relation, state variable names, next-state
+    variable names).  Next-state variables are fresh primed copies.
+    """
+    mgr = mgr or BddManager()
+    bdds = net_bdds(circuit, mgr)
+    state_vars = [l.output for l in circuit.latches]
+    next_vars = [f"{v}'" for v in state_vars]
+    relation = mgr.true
+    for latch, primed in zip(circuit.latches, next_vars):
+        next_fn = bdds[latch.data]
+        if latch.enable is not None:
+            hold = bdds[latch.output]
+            next_fn = bdds[latch.enable].ite(next_fn, hold)
+        relation = relation & mgr.var(primed).iff(next_fn)
+    return mgr, relation, state_vars, next_vars
+
+
+def image(mgr: BddManager, relation: Bdd, states: Bdd,
+          input_names: Sequence[str], state_vars: Sequence[str],
+          next_vars: Sequence[str]) -> Bdd:
+    """Forward image: states reachable in one step from ``states``."""
+    step = (relation & states).exists(list(input_names)
+                                      + list(state_vars))
+    # Rename primed variables back to the current-state variables.
+    result = step
+    for primed, plain in zip(next_vars, state_vars):
+        result = result.compose(primed, mgr.var(plain))
+    return result
+
+
+def reachable_states(circuit: Circuit) -> Tuple[BddManager, Bdd,
+                                                List[str]]:
+    """Least fixpoint of the image computation from the reset state."""
+    mgr, relation, state_vars, next_vars = transition_relation(circuit)
+    reset = mgr.cube({l.output: bool(l.init) for l in circuit.latches})
+    reached = reset
+    frontier = reset
+    while True:
+        new = image(mgr, relation, frontier, circuit.inputs,
+                    state_vars, next_vars)
+        grown = reached | new
+        if grown == reached:
+            break
+        frontier = grown & ~reached
+        reached = grown
+    return mgr, reached, state_vars
+
+
+def count_reachable(circuit: Circuit) -> int:
+    mgr, reached, state_vars = reachable_states(circuit)
+    return reached.sat_count(state_vars)
+
+
+def extract_stg(circuit: Circuit, name: Optional[str] = None) -> STG:
+    """Recover the explicit STG of a netlist (reachable states only).
+
+    State names are the codes' bit strings; inputs/outputs follow the
+    netlist's ``in*``/``out*`` conventions if present, else all
+    primary inputs/outputs in declaration order.
+    """
+    from repro.logic.simulate import evaluate, next_state
+
+    mgr, reached, state_vars = reachable_states(circuit)
+    n_inputs = len(circuit.inputs)
+    n_outputs = len(circuit.outputs)
+    stg = STG(name or f"{circuit.name}_extracted", n_inputs, n_outputs)
+
+    state_codes: List[Dict[str, bool]] = list(reached.satisfy_all())
+    # Expand don't-care paths to full assignments.
+    full_states: Set[Tuple[int, ...]] = set()
+    for partial in state_codes:
+        free = [v for v in state_vars if v not in partial]
+        for m in range(1 << len(free)):
+            assign = dict(partial)
+            for i, v in enumerate(free):
+                assign[v] = bool((m >> i) & 1)
+            full_states.add(tuple(int(assign[v]) for v in state_vars))
+
+    def state_name(bits: Tuple[int, ...]) -> str:
+        return "s" + "".join(str(b) for b in bits)
+
+    reset_bits = tuple(l.init for l in circuit.latches)
+    stg.add_state(state_name(reset_bits))
+    stg.reset_state = state_name(reset_bits)
+
+    for bits in sorted(full_states):
+        state = {v: bits[i] for i, v in enumerate(state_vars)}
+        for m in range(1 << n_inputs):
+            vec = {n: (m >> i) & 1 for i, n in enumerate(circuit.inputs)}
+            values = evaluate(circuit, vec, dict(state))
+            nxt = next_state(circuit, values)
+            nxt_bits = tuple(nxt[v] for v in state_vars)
+            output = "".join(str(values[o]) for o in circuit.outputs)
+            cube = format(m, f"0{n_inputs}b")[::-1] if n_inputs else ""
+            stg.add_transition(cube, state_name(bits),
+                               state_name(nxt_bits), output)
+    return stg
+
+
+def reencode_circuit(circuit: Circuit, seed: int = 0
+                     ) -> Tuple[Circuit, STG, Encoding]:
+    """Re-encoding flow [95]: netlist -> STG -> low-power encoding ->
+    re-synthesized netlist.
+
+    Returns (new circuit, extracted STG, chosen encoding)."""
+    from repro.fsm.synthesis import synthesize_fsm
+
+    stg = extract_stg(circuit)
+    encoding = low_power_encoding(stg, seed=seed)
+    return synthesize_fsm(stg, encoding), stg, encoding

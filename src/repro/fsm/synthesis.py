@@ -1,0 +1,158 @@
+"""Controller synthesis: encoded STG to gate-level netlist.
+
+The translation step of Section III-H: given a state assignment, the
+next-state and output functions are extracted as two-level on-sets over
+(primary inputs, state bits), minimized with don't cares from unused
+state codes and unspecified outputs, and mapped onto the generic cell
+library.  The result is a sequential :class:`repro.logic.Circuit`
+whose power can be measured by the reference simulators, closing the
+loop for the encoding experiments (bench C11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.fsm.encoding import Encoding, binary_encoding
+from repro.fsm.stg import STG
+from repro.logic.netlist import Circuit
+from repro.logic.synthesis import InverterCache, synthesize_cover
+from repro.twolevel.cubes import Cube
+from repro.twolevel.heuristic import minimize_with_offset
+from repro.twolevel.quine_mccluskey import minimize
+
+#: Above this variable count the exact Quine-McCluskey covering (over
+#: explicit unused-code don't cares) is replaced by offset-driven
+#: heuristic expansion, which never materializes the unused-code space
+#: (essential for one-hot encodings of larger machines).
+_EXACT_LIMIT = 10
+
+
+def _cube_minterms(cube: str) -> List[int]:
+    """All input minterms matched by a {0,1,-} cube (char i = bit i)."""
+    free = [i for i, ch in enumerate(cube) if ch == "-"]
+    base = sum(1 << i for i, ch in enumerate(cube) if ch == "1")
+    result = []
+    for combo in range(1 << len(free)):
+        m = base
+        for j, pos in enumerate(free):
+            if (combo >> j) & 1:
+                m |= 1 << pos
+        result.append(m)
+    return result
+
+
+def synthesize_fsm(stg: STG, encoding: Optional[Encoding] = None,
+                   name: Optional[str] = None) -> Circuit:
+    """Build a sequential netlist implementing the (completed) STG.
+
+    Variable order of the extracted functions: primary inputs
+    ``in0..in{ni-1}`` occupy bits 0..ni-1, state bits ``sb0..`` the
+    remaining positions.  Outputs are ``out0..``; state flops initialise
+    to the reset state's code.
+    """
+    if encoding is None:
+        encoding = binary_encoding(stg)
+    complete = stg.completed()
+    ni = complete.n_inputs
+    nb = encoding.n_bits
+    n_vars = ni + nb
+
+    used_codes = {encoding.codes[s] for s in complete.states}
+    exact = n_vars <= _EXACT_LIMIT
+    dc_global: List[int] = []
+    if exact:
+        for code in range(1 << nb):
+            if code not in used_codes:
+                for m in range(1 << ni):
+                    dc_global.append(m | (code << ni))
+
+    next_onsets: List[List[int]] = [[] for _ in range(nb)]
+    next_offsets: List[List[int]] = [[] for _ in range(nb)]
+    out_onsets: List[List[int]] = [[] for _ in range(complete.n_outputs)]
+    out_offsets: List[List[int]] = [[] for _ in
+                                    range(complete.n_outputs)]
+    out_dcs: List[List[int]] = [[] for _ in range(complete.n_outputs)]
+
+    for t in complete.transitions:
+        src_code = encoding.codes[t.src]
+        dst_code = encoding.codes[t.dst]
+        for m in _cube_minterms(t.input_cube):
+            full = m | (src_code << ni)
+            for j in range(nb):
+                if (dst_code >> j) & 1:
+                    next_onsets[j].append(full)
+                else:
+                    next_offsets[j].append(full)
+            for j, ch in enumerate(t.output):
+                if ch == "1":
+                    out_onsets[j].append(full)
+                elif ch == "-":
+                    out_dcs[j].append(full)
+                else:
+                    out_offsets[j].append(full)
+
+    circuit = Circuit(name or f"{stg.name}_{encoding.strategy}")
+    input_nets = circuit.add_inputs([f"in{i}" for i in range(ni)])
+    state_nets = [f"sb{j}" for j in range(nb)]
+    next_nets = [f"ns{j}" for j in range(nb)]
+    reset_code = encoding.codes[complete.reset_state or complete.states[0]]
+    for j in range(nb):
+        circuit.add_latch(next_nets[j], output=state_nets[j],
+                          init=(reset_code >> j) & 1)
+
+    inverters = InverterCache(circuit)
+    all_nets = input_nets + state_nets
+    for j in range(nb):
+        if exact:
+            cover = minimize(n_vars, next_onsets[j], dc_global)
+        else:
+            offset = [Cube.minterm(n_vars, m)
+                      for m in set(next_offsets[j])]
+            cover = minimize_with_offset(n_vars, next_onsets[j], offset)
+        synthesize_cover(cover, all_nets, next_nets[j], circuit=circuit,
+                         inverters=inverters)
+    for j in range(complete.n_outputs):
+        out_net = f"out{j}"
+        circuit.add_output(out_net)
+        if exact:
+            cover = minimize(n_vars, out_onsets[j],
+                             dc_global + out_dcs[j])
+        else:
+            offset = [Cube.minterm(n_vars, m)
+                      for m in set(out_offsets[j])]
+            cover = minimize_with_offset(n_vars, out_onsets[j], offset)
+        synthesize_cover(cover, all_nets, out_net, circuit=circuit,
+                         inverters=inverters)
+    return circuit
+
+
+def fsm_input_vector(stg: STG, minterm: int) -> Dict[str, int]:
+    """Input-net assignment for an input minterm of the synthesized FSM."""
+    return {f"in{i}": (minterm >> i) & 1 for i in range(stg.n_inputs)}
+
+
+def verify_fsm_netlist(stg: STG, circuit: Circuit, encoding: Encoding,
+                       input_sequence: Sequence[int]) -> bool:
+    """Cross-check netlist behaviour against the STG simulator.
+
+    Output don't-cares in the STG are skipped; state trajectories are
+    compared through the encoding.
+    """
+    from repro.logic.simulate import evaluate, next_state
+
+    state_values = {f"sb{j}": (encoding.codes[stg.reset_state] >> j) & 1
+                    for j in range(encoding.n_bits)}
+    symbolic = stg.reset_state
+    for bits in input_sequence:
+        values = evaluate(circuit, fsm_input_vector(stg, bits), state_values)
+        symbolic, out = stg.step(symbolic, bits)
+        for j, ch in enumerate(out):
+            if ch != "-" and values[f"out{j}"] != int(ch):
+                return False
+        state_values = next_state(circuit, values)
+        code = sum(state_values[f"sb{j}"] << j
+                   for j in range(encoding.n_bits))
+        if code != encoding.codes[symbolic]:
+            return False
+    return True

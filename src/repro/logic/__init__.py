@@ -1,0 +1,43 @@
+"""Gate-level logic: netlists, simulation, synthesis, generators.
+
+This package is the framework's ground-truth substrate.  The paper's
+high-level models are all validated against gate-level switched
+capacitance; here that reference is provided by
+
+- :mod:`repro.logic.netlist`   -- gate-level circuit representation,
+- :mod:`repro.logic.gates`     -- a generic characterized cell library,
+- :mod:`repro.logic.simulate`  -- zero-delay functional simulation and
+  activity collection,
+- :mod:`repro.logic.eventsim`  -- event-driven timing simulation that
+  captures glitching (needed by the retiming study, Section III-J),
+- :mod:`repro.logic.synthesis` -- SOP covers to gate netlists,
+- :mod:`repro.logic.generators`-- parametric adders, multipliers,
+  comparators, parity trees, and random logic used as benchmark
+  populations,
+- :mod:`repro.logic.bdd_bridge`-- circuit-to-BDD conversion for exact
+  probabilistic analysis.
+"""
+
+from repro.logic.gates import GateSpec, LIBRARY, gate_spec
+from repro.logic.netlist import Circuit, Gate, Latch
+from repro.logic.simulate import (
+    simulate,
+    collect_activity,
+    ActivityReport,
+    random_vectors,
+)
+from repro.logic.eventsim import EventSimulator
+
+__all__ = [
+    "GateSpec",
+    "LIBRARY",
+    "gate_spec",
+    "Circuit",
+    "Gate",
+    "Latch",
+    "simulate",
+    "collect_activity",
+    "ActivityReport",
+    "random_vectors",
+    "EventSimulator",
+]

@@ -1,0 +1,130 @@
+"""Minimal BLIF reader/writer.
+
+Supports the subset of Berkeley Logic Interchange Format the framework
+needs to exchange netlists: ``.model``, ``.inputs``, ``.outputs``,
+``.names`` (SOP tables), ``.latch`` (rising-edge D flops), ``.end``.
+``.names`` bodies are synthesized to library gates on read; on write,
+every gate is emitted as a ``.names`` truth table so round-trips are
+functionally exact (structure is re-synthesized).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.twolevel.cubes import Cover, Cube
+from repro.logic.netlist import Circuit, Gate, Latch
+from repro.logic.synthesis import InverterCache, synthesize_cover
+
+
+def write_blif(circuit: Circuit, stream: TextIO) -> None:
+    stream.write(f".model {circuit.name}\n")
+    stream.write(".inputs " + " ".join(circuit.inputs) + "\n")
+    stream.write(".outputs " + " ".join(circuit.outputs) + "\n")
+    for latch in circuit.latches:
+        stream.write(f".latch {latch.data} {latch.output} re clk "
+                     f"{latch.init}\n")
+    for gate in circuit.gates:
+        stream.write(".names " + " ".join(gate.inputs)
+                     + f" {gate.output}\n")
+        spec = gate.spec
+        n = spec.n_inputs
+        if n == 0:
+            if spec.fn(()) == 1:
+                stream.write("1\n")
+            continue
+        for m in range(1 << n):
+            bits = tuple((m >> i) & 1 for i in range(n))
+            if spec.fn(bits):
+                stream.write("".join(str(b) for b in bits) + " 1\n")
+    stream.write(".end\n")
+
+
+def _parse_names_body(n_inputs: int, rows: Sequence[str]) -> Cover:
+    """SOP rows (input-plane + output bit) to a Cover of the on-set."""
+    cover = Cover(max(n_inputs, 0))
+    for row in rows:
+        parts = row.split()
+        if n_inputs == 0:
+            # Constant: row is just '1' (on) — absence means constant 0.
+            continue
+        plane, out = parts[0], parts[1]
+        if out != "1":
+            raise ValueError("only on-set (.names ... 1) rows are supported")
+        cover.add(Cube.from_string(plane))
+    return cover
+
+
+def read_blif(stream: TextIO) -> Circuit:
+    lines: List[str] = []
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        while line.endswith("\\"):
+            line = line[:-1] + next(stream).split("#", 1)[0].rstrip()
+        lines.append(line)
+
+    circuit = Circuit()
+    inverters: Optional[InverterCache] = None
+    names_blocks: List[Tuple[List[str], str, List[str]]] = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            circuit.name = tokens[1] if len(tokens) > 1 else "model"
+        elif keyword == ".inputs":
+            circuit.add_inputs(tokens[1:])
+        elif keyword == ".outputs":
+            for net in tokens[1:]:
+                circuit.add_output(net)
+        elif keyword == ".latch":
+            data, output = tokens[1], tokens[2]
+            init = int(tokens[-1]) if tokens[-1] in ("0", "1") else 0
+            circuit.add_latch(data, output=output, init=init)
+        elif keyword == ".names":
+            signals = tokens[1:]
+            body: List[str] = []
+            j = i + 1
+            while j < len(lines) and not lines[j].startswith("."):
+                body.append(lines[j])
+                j += 1
+            names_blocks.append((signals[:-1], signals[-1], body))
+            i = j - 1
+        elif keyword == ".end":
+            break
+        i += 1
+
+    # Declared signal names must not collide with synthesized ones.
+    reserved = set(circuit.inputs)
+    for input_nets, output_net, _body in names_blocks:
+        reserved.add(output_net)
+        reserved.update(input_nets)
+    for latch in circuit.latches:
+        reserved.add(latch.data)
+        reserved.add(latch.output)
+    circuit.reserve_nets(reserved)
+
+    inverters = InverterCache(circuit)
+    for input_nets, output_net, body in names_blocks:
+        if not input_nets:
+            is_one = any(row.strip() == "1" for row in body)
+            circuit.add_gate("CONST1" if is_one else "CONST0", [],
+                             output=output_net)
+            continue
+        cover = _parse_names_body(len(input_nets), body)
+        synthesize_cover(cover, input_nets, output_net, circuit=circuit,
+                         inverters=inverters)
+    return circuit
+
+
+def save_blif(circuit: Circuit, path: str) -> None:
+    with open(path, "w") as stream:
+        write_blif(circuit, stream)
+
+
+def load_blif(path: str) -> Circuit:
+    with open(path) as stream:
+        return read_blif(stream)

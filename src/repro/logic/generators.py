@@ -1,0 +1,359 @@
+"""Parametric gate-level circuit generators.
+
+These generators replace the industrial RTL libraries and MCNC/ISCAS
+benchmark suites used by the surveyed papers: they produce populations
+of datapath and random-logic circuits for
+
+- macro-model characterization (Section II-C1: adders, multipliers),
+- complexity/entropy model regression (Sections II-B1/II-B2: random
+  functions, random DAG logic),
+- power-management case studies (comparators, ALU slices).
+
+All circuits use named primary inputs of the form ``<bus><bit>`` (e.g.
+``a3``) so word-level stimulus generators can address them uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.netlist import Circuit
+from repro.logic.synthesis import reduce_tree
+
+
+def bus(name: str, width: int) -> List[str]:
+    """Net names of a ``width``-bit bus, LSB first."""
+    return [f"{name}{i}" for i in range(width)]
+
+
+def _full_adder(circuit: Circuit, a: str, b: str, cin: str
+                ) -> Tuple[str, str]:
+    """Returns (sum, carry) nets."""
+    axb = circuit.add_gate("XOR2", [a, b])
+    s = circuit.add_gate("XOR2", [axb, cin])
+    t1 = circuit.add_gate("AND2", [a, b])
+    t2 = circuit.add_gate("AND2", [axb, cin])
+    cout = circuit.add_gate("OR2", [t1, t2])
+    return s, cout
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit ripple-carry adder: s = a + b, with carry out."""
+    circuit = Circuit(name or f"rca{width}")
+    a = circuit.add_inputs(bus("a", width))
+    b = circuit.add_inputs(bus("b", width))
+    carry = circuit.add_gate("CONST0", [])
+    for i in range(width):
+        s, carry = _full_adder(circuit, a[i], b[i], carry)
+        out = circuit.add_gate("BUF", [s], output=f"s{i}")
+        circuit.add_output(out)
+    cout = circuit.add_gate("BUF", [carry], output="cout")
+    circuit.add_output(cout)
+    return circuit
+
+
+def carry_lookahead_adder(width: int, block: int = 4,
+                          name: Optional[str] = None) -> Circuit:
+    """Block carry-lookahead adder: s = a + b with carry out.
+
+    Generate/propagate per bit (g = a&b, p = a^b); within each block
+    the carries come from two-level lookahead logic, blocks chain
+    ripple-style.  Shallower than the ripple adder at higher gate
+    count -- the classic area/delay/power alternative the library
+    offers the allocation and voltage-scheduling experiments.
+    """
+    circuit = Circuit(name or f"cla{width}")
+    a = circuit.add_inputs(bus("a", width))
+    b = circuit.add_inputs(bus("b", width))
+    carry = circuit.add_gate("CONST0", [])
+    for base in range(0, width, block):
+        bits = list(range(base, min(base + block, width)))
+        g = [circuit.add_gate("AND2", [a[i], b[i]]) for i in bits]
+        p = [circuit.add_gate("XOR2", [a[i], b[i]]) for i in bits]
+        carries = [carry]
+        for j in range(len(bits)):
+            # c_{j+1} = g_j + p_j g_{j-1} + ... + p_j..p_0 c_in
+            terms = [g[j]]
+            for k in range(j - 1, -1, -1):
+                chain = g[k]
+                for m in range(k + 1, j + 1):
+                    chain = circuit.add_gate("AND2", [chain, p[m]])
+                terms.append(chain)
+            chain_in = carries[0]
+            for m in range(0, j + 1):
+                chain_in = circuit.add_gate("AND2", [chain_in, p[m]])
+            terms.append(chain_in)
+            carries.append(reduce_tree(circuit, "OR", terms))
+        for j, i in enumerate(bits):
+            s = circuit.add_gate("XOR2", [p[j], carries[j]])
+            out = circuit.add_gate("BUF", [s], output=f"s{i}")
+            circuit.add_output(out)
+        carry = carries[-1]
+    cout = circuit.add_gate("BUF", [carry], output="cout")
+    circuit.add_output(cout)
+    return circuit
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """``width`` x ``width`` unsigned array multiplier.
+
+    Classic carry-save array: partial products ANDed, then rows of full
+    adders.  Deep logic nesting makes it the paper's canonical example
+    of a module needing input-output macro-models (Section II-C1).
+    """
+    circuit = Circuit(name or f"mult{width}")
+    a = circuit.add_inputs(bus("a", width))
+    b = circuit.add_inputs(bus("b", width))
+    # partial[i][j] = a[j] & b[i]
+    partial = [[circuit.add_gate("AND2", [a[j], b[i]])
+                for j in range(width)] for i in range(width)]
+
+    outputs: List[str] = [partial[0][0]]
+    # Row-by-row carry-propagate accumulation.
+    row = partial[0][1:] + [None]  # type: ignore[list-item]
+    acc: List[Optional[str]] = list(partial[0][1:]) + [None]
+    for i in range(1, width):
+        new_acc: List[Optional[str]] = []
+        carry: Optional[str] = None
+        for j in range(width):
+            terms = [t for t in (acc[j] if j < len(acc) else None,
+                                 partial[i][j], carry) if t is not None]
+            if not terms:
+                s, carry = None, None
+            elif len(terms) == 1:
+                s, carry = terms[0], None
+            elif len(terms) == 2:
+                s = circuit.add_gate("XOR2", terms)
+                carry = circuit.add_gate("AND2", terms)
+            else:
+                s, carry = _full_adder(circuit, terms[0], terms[1], terms[2])
+            new_acc.append(s)
+        outputs.append(new_acc[0])  # type: ignore[arg-type]
+        acc = new_acc[1:] + [carry]
+    for t in acc:
+        outputs.append(t)
+
+    for i, net in enumerate(outputs[:2 * width]):
+        if net is None:
+            net = circuit.add_gate("CONST0", [])
+        out = circuit.add_gate("BUF", [net], output=f"p{i}")
+        circuit.add_output(out)
+    del row
+    return circuit
+
+
+def equality_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """eq = (a == b), the canonical precomputation example (Fig. 6)."""
+    circuit = Circuit(name or f"eq{width}")
+    a = circuit.add_inputs(bus("a", width))
+    b = circuit.add_inputs(bus("b", width))
+    bits = [circuit.add_gate("XNOR2", [a[i], b[i]]) for i in range(width)]
+    reduce_tree(circuit, "AND", bits, output="eq")
+    circuit.add_output("eq")
+    return circuit
+
+
+def magnitude_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """gt = (a > b), ripple style from MSB."""
+    circuit = Circuit(name or f"gt{width}")
+    a = circuit.add_inputs(bus("a", width))
+    b = circuit.add_inputs(bus("b", width))
+    gt: Optional[str] = None
+    eq: Optional[str] = None
+    for i in reversed(range(width)):
+        nb = circuit.add_gate("INV", [b[i]])
+        here_gt = circuit.add_gate("AND2", [a[i], nb])
+        here_eq = circuit.add_gate("XNOR2", [a[i], b[i]])
+        if gt is None:
+            gt, eq = here_gt, here_eq
+        else:
+            below = circuit.add_gate("AND2", [eq, here_gt])
+            gt = circuit.add_gate("OR2", [gt, below])
+            eq = circuit.add_gate("AND2", [eq, here_eq])
+    assert gt is not None
+    out = circuit.add_gate("BUF", [gt], output="gt")
+    circuit.add_output(out)
+    return circuit
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    circuit = Circuit(name or f"parity{width}")
+    nets = circuit.add_inputs(bus("x", width))
+    while len(nets) > 1:
+        nxt = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(circuit.add_gate("XOR2", [nets[i], nets[i + 1]]))
+        if len(nets) % 2:
+            nxt.append(nets[-1])
+        nets = nxt
+    out = circuit.add_gate("BUF", nets, output="parity")
+    circuit.add_output(out)
+    return circuit
+
+
+def mux_word(circuit: Circuit, d0: Sequence[str], d1: Sequence[str],
+             sel: str, prefix: str) -> List[str]:
+    """Word-level 2:1 mux built from MUX2 cells."""
+    return [circuit.add_gate("MUX2", [d0[i], d1[i], sel],
+                             output=f"{prefix}{i}")
+            for i in range(len(d0))]
+
+
+def random_logic(n_inputs: int, n_gates: int, n_outputs: int,
+                 seed: int = 0, name: Optional[str] = None) -> Circuit:
+    """Random DAG of library gates, the "random logic" population.
+
+    Gates pick their type from the two-input-dominant distribution
+    typical of mapped netlists and wire their inputs uniformly from
+    already-defined nets (inputs plus earlier gate outputs).
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"rand_{n_inputs}_{n_gates}_{seed}")
+    nets = circuit.add_inputs(bus("x", n_inputs))
+    pool = list(nets)
+    types = ["NAND2", "NOR2", "AND2", "OR2", "XOR2", "INV",
+             "NAND3", "NOR3", "AOI21"]
+    weights = [4, 3, 3, 3, 2, 2, 1, 1, 1]
+    for _ in range(n_gates):
+        gate_type = rng.choices(types, weights)[0]
+        arity = {"INV": 1, "NAND3": 3, "NOR3": 3, "AOI21": 3}.get(gate_type, 2)
+        ins = rng.sample(pool, k=min(arity, len(pool)))
+        while len(ins) < arity:
+            ins.append(rng.choice(pool))
+        pool.append(circuit.add_gate(gate_type, ins))
+    # Last gates become primary outputs.
+    chosen = pool[-n_outputs:]
+    for i, net in enumerate(chosen):
+        out = circuit.add_gate("BUF", [net], output=f"y{i}")
+        circuit.add_output(out)
+    return circuit
+
+
+def counter(width: int, name: Optional[str] = None) -> Circuit:
+    """Free-running binary up-counter (sequential benchmark)."""
+    circuit = Circuit(name or f"counter{width}")
+    enable = circuit.add_input("en")
+    q = [f"q{i}" for i in range(width)]
+    carry = enable
+    for i in range(width):
+        d = circuit.add_gate("XOR2", [q[i], carry])
+        if i + 1 < width:
+            carry = circuit.add_gate("AND2", [q[i], carry])
+        circuit.add_latch(d, output=q[i])
+        circuit.add_output(q[i])
+    return circuit
+
+
+def shift_register(width: int, name: Optional[str] = None) -> Circuit:
+    circuit = Circuit(name or f"shift{width}")
+    din = circuit.add_input("din")
+    prev = din
+    for i in range(width):
+        prev = circuit.add_latch(prev, output=f"q{i}")
+        circuit.add_output(prev)
+    return circuit
+
+
+def chained_adder_tree(width: int, stages: int,
+                       name: Optional[str] = None) -> Circuit:
+    """Cascade of adders: a long-combinational-path glitch generator.
+
+    Used by the retiming experiments (Section III-J): deep carry chains
+    glitch heavily, so register placement matters for power.
+    """
+    circuit = Circuit(name or f"addchain{width}x{stages}")
+    acc = circuit.add_inputs(bus("a", width))
+    carry_outs: List[str] = []
+    for s in range(stages):
+        operand = circuit.add_inputs(bus(f"b{s}_", width))
+        carry = circuit.add_gate("CONST0", [])
+        nxt = []
+        for i in range(width):
+            sm, carry = _full_adder(circuit, acc[i], operand[i], carry)
+            nxt.append(sm)
+        acc = nxt
+        carry_outs.append(carry)
+    for i, net in enumerate(acc):
+        out = circuit.add_gate("BUF", [net], output=f"s{i}")
+        circuit.add_output(out)
+    out = circuit.add_gate("BUF", [carry_outs[-1]], output="cout")
+    circuit.add_output(out)
+    return circuit
+
+
+def constant_scaler(constant: int, width: int,
+                    name: Optional[str] = None) -> Circuit:
+    """Combinational y = constant * x as a CSD shift/add-sub network.
+
+    Shifts are pure wiring (bit reindexing); each CSD digit adds or
+    subtracts a shifted copy of x, so the datapath is a short chain of
+    ripple adders -- the hardware the Table I transformation produces.
+    The product is truncated to ``width`` bits.
+    """
+    from repro.cdfg.transforms import csd_digits
+
+    circuit = Circuit(name or f"scale{constant}_{width}")
+    x = circuit.add_inputs(bus("a", width))
+    zero = circuit.add_gate("CONST0", [])
+
+    def shifted(amount: int) -> List[str]:
+        return [zero] * amount + x[: max(0, width - amount)]
+
+    if constant > 0:
+        # Choose the cheaper decomposition: plain binary (adds only)
+        # vs canonical signed digits (fewer terms, but subtractors
+        # cost extra inverter-row switching).
+        binary = [(i, 1) for i in range(constant.bit_length())
+                  if (constant >> i) & 1]
+        csd = csd_digits(constant)
+
+        def cost(digits_list):
+            return sum(1.0 if sign > 0 else 1.7
+                       for _s, sign in digits_list)
+
+        digits = binary if cost(binary) <= cost(csd) else csd
+    else:
+        digits = []
+    acc: Optional[List[str]] = None
+    for shift, sign in digits:
+        term = shifted(shift)
+        if acc is None:
+            acc = term if sign > 0 else _negate(circuit, term, zero)
+            continue
+        if sign > 0:
+            acc = _add_words(circuit, acc, term, carry_in=None)
+        else:
+            acc = _sub_words(circuit, acc, term)
+    if acc is None:
+        acc = [zero] * width
+    for i, net in enumerate(acc[:width]):
+        out = circuit.add_gate("BUF", [net], output=f"p{i}")
+        circuit.add_output(out)
+    return circuit
+
+
+def _add_words(circuit: Circuit, a: Sequence[str], b: Sequence[str],
+               carry_in: Optional[str]) -> List[str]:
+    carry = carry_in or circuit.add_gate("CONST0", [])
+    out: List[str] = []
+    for x, y in zip(a, b):
+        s, carry = _full_adder(circuit, x, y, carry)
+        out.append(s)
+    return out
+
+
+def _sub_words(circuit: Circuit, a: Sequence[str],
+               b: Sequence[str]) -> List[str]:
+    carry = circuit.add_gate("CONST1", [])
+    out: List[str] = []
+    for x, y in zip(a, b):
+        ny = circuit.add_gate("INV", [y])
+        s, carry = _full_adder(circuit, x, ny, carry)
+        out.append(s)
+    return out
+
+
+def _negate(circuit: Circuit, term: Sequence[str],
+            zero: str) -> List[str]:
+    return _sub_words(circuit, [zero] * len(term), term)

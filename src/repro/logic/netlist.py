@@ -1,0 +1,298 @@
+"""Gate-level circuit representation.
+
+A :class:`Circuit` is a named collection of nets driven by primary
+inputs, gates, or latches (edge-triggered D flip-flops).  The class
+maintains fanout maps and provides topological ordering, capacitance
+accounting, and structural statistics used by every estimator in the
+framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic import gates as gatelib
+from repro.logic.gates import GateSpec, gate_spec
+
+
+@dataclass
+class Gate:
+    """Instance of a library cell driving net ``output``."""
+
+    name: str
+    gate_type: str
+    inputs: List[str]
+    output: str
+
+    @property
+    def spec(self) -> GateSpec:
+        return gate_spec(self.gate_type)
+
+
+@dataclass
+class Latch:
+    """Edge-triggered D flip-flop: samples ``data`` into ``output``.
+
+    An optional ``enable`` net turns the flop into a load-enable
+    register: when the enable net settles to 0, the flop holds its
+    value *and its local clock is gated off* (an integrated
+    clock-gating cell is assumed; the enable pin presents
+    ``gates.DFF_ENABLE_CAP`` of load).
+    """
+
+    name: str
+    data: str
+    output: str
+    init: int = 0
+    enable: Optional[str] = None
+    #: False models a level-sensitive transparent latch controlled by
+    #: ``enable`` alone: it presents no clock-tree load at all (used by
+    #: guarded evaluation's guard latches).
+    clocked: bool = True
+
+
+class Circuit:
+    """A combinational or sequential gate-level netlist."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: List[Gate] = []
+        self.latches: List[Latch] = []
+        self._driver: Dict[str, object] = {}
+        self._reserved: Set[str] = set()
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        if net in self._driver:
+            raise ValueError(f"net {net!r} already driven")
+        self.inputs.append(net)
+        self._driver[net] = "input"
+        return net
+
+    def add_inputs(self, nets: Iterable[str]) -> List[str]:
+        return [self.add_input(n) for n in nets]
+
+    def reserve_nets(self, nets: Iterable[str]) -> None:
+        """Keep auto-generated net names away from the given names.
+
+        Used by netlist readers: declared signal names must not clash
+        with the fresh names synthesis helpers invent.
+        """
+        self._reserved.update(nets)
+
+    def add_output(self, net: str) -> str:
+        self.outputs.append(net)
+        return net
+
+    def add_gate(self, gate_type: str, inputs: Sequence[str],
+                 output: Optional[str] = None,
+                 name: Optional[str] = None) -> str:
+        """Instantiate a gate; returns the output net name.
+
+        If ``output`` is omitted a fresh net name is generated.
+        """
+        spec = gate_spec(gate_type)
+        if len(inputs) != spec.n_inputs:
+            raise ValueError(
+                f"{gate_type} takes {spec.n_inputs} inputs, got {len(inputs)}")
+        if output is None:
+            output = f"n{len(self.gates) + len(self.latches)}_{gate_type.lower()}"
+            while output in self._driver or output in self._reserved:
+                output = "_" + output
+        if output in self._driver:
+            raise ValueError(f"net {output!r} already driven")
+        if name is None:
+            name = f"g{len(self.gates)}"
+        gate = Gate(name, gate_type, list(inputs), output)
+        self.gates.append(gate)
+        self._driver[output] = gate
+        self._topo_cache = None
+        return output
+
+    def add_latch(self, data: str, output: Optional[str] = None,
+                  init: int = 0, name: Optional[str] = None,
+                  enable: Optional[str] = None,
+                  clocked: bool = True) -> str:
+        if output is None:
+            output = f"q{len(self.latches)}"
+            while output in self._driver or output in self._reserved:
+                output = "_" + output
+        if output in self._driver:
+            raise ValueError(f"net {output!r} already driven")
+        if name is None:
+            name = f"l{len(self.latches)}"
+        latch = Latch(name, data, output, init, enable, clocked)
+        self.latches.append(latch)
+        self._driver[output] = latch
+        self._topo_cache = None
+        return output
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> List[str]:
+        seen: List[str] = list(self.inputs)
+        seen.extend(l.output for l in self.latches)
+        seen.extend(g.output for g in self.gates)
+        return seen
+
+    def driver_of(self, net: str):
+        """'input', a Gate, or a Latch; KeyError for undriven nets."""
+        return self._driver[net]
+
+    def is_sequential(self) -> bool:
+        return bool(self.latches)
+
+    def fanout_map(self) -> Dict[str, List[Tuple[object, int]]]:
+        """net -> list of (consumer, pin index) pairs.
+
+        Consumers are Gate instances, Latch instances (pin 0 = D), or
+        the string 'output' for primary outputs.
+        """
+        fanout: Dict[str, List[Tuple[object, int]]] = {n: [] for n in self.nets}
+        for gate in self.gates:
+            for pin, net in enumerate(gate.inputs):
+                fanout.setdefault(net, []).append((gate, pin))
+        for latch in self.latches:
+            fanout.setdefault(latch.data, []).append((latch, 0))
+            if latch.enable is not None:
+                fanout.setdefault(latch.enable, []).append((latch, 1))
+        for net in self.outputs:
+            fanout.setdefault(net, []).append(("output", 0))
+        return fanout
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates in topological order (inputs and latch outputs are roots)."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        order: List[Gate] = []
+        ready: Set[str] = set(self.inputs)
+        ready.update(l.output for l in self.latches)
+        remaining = list(self.gates)
+        # Kahn's algorithm on nets.
+        waiting: Dict[str, List[Gate]] = {}
+        missing: Dict[str, int] = {}
+        for gate in remaining:
+            count = 0
+            for net in gate.inputs:
+                if net not in ready:
+                    count += 1
+                    waiting.setdefault(net, []).append(gate)
+            missing[gate.name] = count
+        queue = [g for g in remaining if missing[g.name] == 0]
+        scheduled = set()
+        while queue:
+            gate = queue.pop()
+            if gate.name in scheduled:
+                continue
+            scheduled.add(gate.name)
+            order.append(gate)
+            ready.add(gate.output)
+            for dependent in waiting.get(gate.output, []):
+                missing[dependent.name] -= 1
+                if missing[dependent.name] == 0:
+                    queue.append(dependent)
+        if len(order) != len(self.gates):
+            raise ValueError(
+                "combinational cycle or undriven net in circuit "
+                f"{self.name!r} ({len(order)}/{len(self.gates)} ordered)")
+        self._topo_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Electrical accounting
+    # ------------------------------------------------------------------
+    def load_capacitance(self, net: str,
+                         fanout: Optional[Dict[str, List[Tuple[object, int]]]]
+                         = None) -> float:
+        """Capacitance switched when ``net`` toggles.
+
+        Sum of the fanin pins' input capacitances, the driver's
+        intrinsic output capacitance, and a statistical wire load.
+        """
+        if fanout is None:
+            fanout = self.fanout_map()
+        consumers = fanout.get(net, [])
+        cap = gatelib.wire_capacitance(len(consumers))
+        for consumer, pin in consumers:
+            if isinstance(consumer, Gate):
+                cap += consumer.spec.input_cap
+            elif isinstance(consumer, Latch):
+                cap += gatelib.DFF_ENABLE_CAP if pin == 1 \
+                    else gatelib.DFF_INPUT_CAP
+            else:  # primary output pad
+                cap += 2.0
+        driver = self._driver.get(net)
+        if isinstance(driver, Gate):
+            cap += driver.spec.output_cap
+        elif isinstance(driver, Latch):
+            cap += gatelib.DFF_OUTPUT_CAP
+        return cap
+
+    def total_capacitance(self) -> float:
+        """Sum of load capacitances over all nets (the C_tot of II-B1)."""
+        fanout = self.fanout_map()
+        return sum(self.load_capacitance(net, fanout) for net in self.nets)
+
+    def clock_capacitance(self) -> float:
+        return gatelib.DFF_CLOCK_CAP * sum(1 for l in self.latches
+                                           if l.clocked)
+
+    def area(self) -> float:
+        """Area in NAND2 gate equivalents."""
+        total = sum(g.spec.area for g in self.gates)
+        total += gatelib.DFF_AREA * len(self.latches)
+        return total
+
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def depth(self) -> int:
+        """Longest combinational path, in gate levels."""
+        level: Dict[str, int] = {n: 0 for n in self.inputs}
+        level.update({l.output: 0 for l in self.latches})
+        best = 0
+        for gate in self.topological_gates():
+            lvl = 1 + max((level.get(n, 0) for n in gate.inputs), default=0)
+            level[gate.output] = lvl
+            best = max(best, lvl)
+        return best
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.gates),
+            "latches": len(self.latches),
+            "area": self.area(),
+            "depth": self.depth() if self.gates else 0,
+            "total_capacitance": self.total_capacitance(),
+        }
+
+    def clone(self, name: Optional[str] = None) -> "Circuit":
+        copy = Circuit(name or self.name)
+        copy.inputs = list(self.inputs)
+        copy.outputs = list(self.outputs)
+        for g in self.gates:
+            copy.gates.append(Gate(g.name, g.gate_type, list(g.inputs),
+                                   g.output))
+            copy._driver[g.output] = copy.gates[-1]
+        for l in self.latches:
+            copy.latches.append(Latch(l.name, l.data, l.output, l.init,
+                                      l.enable, l.clocked))
+            copy._driver[l.output] = copy.latches[-1]
+        for n in self.inputs:
+            copy._driver[n] = "input"
+        return copy
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, in={len(self.inputs)}, "
+                f"out={len(self.outputs)}, gates={len(self.gates)}, "
+                f"latches={len(self.latches)})")

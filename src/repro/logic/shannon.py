@@ -1,0 +1,99 @@
+"""BDD-to-circuit synthesis: Shannon (multiplexor) networks.
+
+Section III-H discusses translating a BDD-represented transition
+structure into gates.  The naive mapping — one multiplexor per BDD
+node ("networks that are large, deep, and slow") — is implemented here
+together with the obvious sharing (one mux per *shared* node), which
+is what timed-Shannon-style approaches start from [97].
+
+Besides controller synthesis, the mapping gives an alternative
+datapath style whose size is the BDD node count, letting experiments
+relate BDD size to circuit cost (the premise of Ferrandi's capacitance
+model [12]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bdd import Bdd, BddManager
+from repro.logic.netlist import Circuit
+
+
+def synthesize_bdd(functions: Dict[str, Bdd],
+                   input_names: Optional[Sequence[str]] = None,
+                   name: str = "shannon") -> Circuit:
+    """Map BDDs onto a shared multiplexor network.
+
+    ``functions`` maps output net names to BDDs from one manager.
+    Every internal BDD node becomes one MUX2 (shared across outputs);
+    terminals become constants.  Inputs default to the manager's
+    variable list.
+    """
+    if not functions:
+        raise ValueError("need at least one function")
+    managers = {f.manager for f in functions.values()}
+    if len(managers) != 1:
+        raise ValueError("functions must share a BDD manager")
+    mgr = managers.pop()
+
+    circuit = Circuit(name)
+    names = list(input_names) if input_names is not None \
+        else mgr.variables
+    for var in names:
+        circuit.add_input(var)
+
+    const0 = circuit.add_gate("CONST0", [])
+    const1 = circuit.add_gate("CONST1", [])
+    net_of: Dict[int, str] = {0: const0, 1: const1}
+
+    def build(node_id: int) -> str:
+        hit = net_of.get(node_id)
+        if hit is not None:
+            return hit
+        node = mgr._node(node_id)
+        low = build(node.low)
+        high = build(node.high)
+        select = mgr.variables[node.level]
+        out = circuit.add_gate("MUX2", [low, high, select])
+        net_of[node_id] = out
+        return out
+
+    for out_name, f in functions.items():
+        root = build(f.root)
+        circuit.add_gate("BUF", [root], output=out_name)
+        circuit.add_output(out_name)
+    return circuit
+
+
+def synthesize_function_shannon(n: int, onset: Sequence[int],
+                                input_names: Optional[Sequence[str]]
+                                = None,
+                                output_name: str = "f",
+                                name: str = "shannon") -> Circuit:
+    """Single-output helper: minterm list -> BDD -> mux network."""
+    mgr = BddManager()
+    names = list(input_names) if input_names \
+        else [f"x{i}" for i in range(n)]
+    for var in names:
+        mgr.var(var)
+    f = mgr.from_truth_table(names, onset)
+    return synthesize_bdd({output_name: f}, input_names=names, name=name)
+
+
+def mux_network_cost(functions: Dict[str, Bdd]) -> int:
+    """Shared-node count = MUX2 count of the Shannon network."""
+    seen = set()
+    count = 0
+    for f in functions.values():
+        stack = [f.root]
+        while stack:
+            node_id = stack.pop()
+            if node_id <= 1 or node_id in seen:
+                continue
+            seen.add(node_id)
+            count += 1
+            node = f.manager._node(node_id)
+            stack.append(node.low)
+            stack.append(node.high)
+    return count

@@ -1,0 +1,147 @@
+"""Sum-of-products to gate-netlist synthesis.
+
+This is the framework's stand-in for the logic-synthesis back end the
+paper assumes (SIS): two-level covers produced by
+:mod:`repro.twolevel` are mapped onto the generic cell library as
+balanced AND/OR trees with shared input inverters.  The resulting
+netlists feed gate-level reference simulation, the complexity-model
+regressions (Section II-B2), and FSM synthesis (Section III-H).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.twolevel.cubes import Cover, Cube
+from repro.twolevel.quine_mccluskey import minimize
+from repro.logic.netlist import Circuit
+
+
+def _gate_for(kind: str, width: int) -> str:
+    if width < 2 or width > 4:
+        raise ValueError("tree arity out of range")
+    return f"{kind}{width}"
+
+
+def reduce_tree(circuit: Circuit, kind: str, nets: Sequence[str],
+                output: Optional[str] = None) -> str:
+    """Combine nets with a balanced tree of 2..4-input ``kind`` gates.
+
+    ``kind`` is 'AND' or 'OR'.  Returns the root net.
+    """
+    nets = list(nets)
+    if not nets:
+        raise ValueError("cannot reduce an empty net list")
+    if len(nets) == 1:
+        if output is not None:
+            return circuit.add_gate("BUF", nets, output=output)
+        return nets[0]
+    while len(nets) > 4:
+        grouped: List[str] = []
+        for i in range(0, len(nets), 4):
+            chunk = nets[i:i + 4]
+            if len(chunk) == 1:
+                grouped.append(chunk[0])
+            else:
+                grouped.append(
+                    circuit.add_gate(_gate_for(kind, len(chunk)), chunk))
+        nets = grouped
+    return circuit.add_gate(_gate_for(kind, len(nets)), nets, output=output)
+
+
+class InverterCache:
+    """Shares inverters so each net is complemented at most once."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._inv: Dict[str, str] = {}
+
+    def complement(self, net: str) -> str:
+        out = self._inv.get(net)
+        if out is None:
+            out = self.circuit.add_gate("INV", [net])
+            self._inv[net] = out
+        return out
+
+
+def synthesize_cover(cover: Cover, input_nets: Sequence[str],
+                     output_net: str,
+                     circuit: Optional[Circuit] = None,
+                     inverters: Optional[InverterCache] = None) -> Circuit:
+    """Map a cover onto gates inside ``circuit`` (created if omitted).
+
+    ``input_nets[i]`` corresponds to cube variable i.  The cover's
+    output is driven onto ``output_net``.
+    """
+    if len(input_nets) != cover.n:
+        raise ValueError("input net count must match cover width")
+    if circuit is None:
+        circuit = Circuit("sop")
+        circuit.add_inputs(input_nets)
+        circuit.add_output(output_net)
+    if inverters is None:
+        inverters = InverterCache(circuit)
+
+    if len(cover) == 0:
+        circuit.add_gate("CONST0", [], output=output_net)
+        return circuit
+    if any(cube.care == 0 for cube in cover):
+        circuit.add_gate("CONST1", [], output=output_net)
+        return circuit
+
+    product_nets: List[str] = []
+    for cube in cover:
+        literal_nets: List[str] = []
+        for i in range(cover.n):
+            if not (cube.care >> i) & 1:
+                continue
+            net = input_nets[i]
+            if (cube.value >> i) & 1:
+                literal_nets.append(net)
+            else:
+                literal_nets.append(inverters.complement(net))
+        if len(literal_nets) == 1:
+            product_nets.append(literal_nets[0])
+        else:
+            product_nets.append(reduce_tree(circuit, "AND", literal_nets))
+
+    if len(product_nets) == 1 and product_nets[0] != output_net:
+        circuit.add_gate("BUF", product_nets, output=output_net)
+    else:
+        reduce_tree(circuit, "OR", product_nets, output=output_net)
+    return circuit
+
+
+def synthesize_function(n: int, onset: Sequence[int],
+                        dc: Sequence[int] = (),
+                        input_names: Optional[Sequence[str]] = None,
+                        output_name: str = "f",
+                        name: str = "func") -> Circuit:
+    """Minimize a single-output function and map it to gates."""
+    cover = minimize(n, onset, dc)
+    inputs = list(input_names) if input_names else [f"x{i}" for i in range(n)]
+    circuit = Circuit(name)
+    circuit.add_inputs(inputs)
+    circuit.add_output(output_name)
+    synthesize_cover(cover, inputs, output_name, circuit=circuit)
+    return circuit
+
+
+def synthesize_multi(n: int, onsets: Dict[str, Sequence[int]],
+                     input_names: Optional[Sequence[str]] = None,
+                     name: str = "func") -> Circuit:
+    """Synthesize several single-output functions over shared inputs.
+
+    Input inverters are shared across outputs, mirroring how a
+    multi-output PLA or mapped netlist shares input buffering.
+    """
+    inputs = list(input_names) if input_names else [f"x{i}" for i in range(n)]
+    circuit = Circuit(name)
+    circuit.add_inputs(inputs)
+    inverters = InverterCache(circuit)
+    for output_name, onset in onsets.items():
+        circuit.add_output(output_name)
+        cover = minimize(n, list(onset))
+        synthesize_cover(cover, inputs, output_name, circuit=circuit,
+                         inverters=inverters)
+    return circuit

@@ -1,0 +1,23 @@
+"""Power-constrained synthesis and optimization (Section III).
+
+- :mod:`repro.optimization.shutdown`      -- system-level power
+  management policies (III-B),
+- :mod:`repro.optimization.bus_encoding`  -- Bus-Invert, Gray, T0,
+  working-zone, and Beach codes (III-G),
+- :mod:`repro.optimization.precompute`    -- precomputation logic
+  (III-I, [99], [100]),
+- :mod:`repro.optimization.clock_gating`  -- gated-clock synthesis
+  (III-I, [101]-[103]),
+- :mod:`repro.optimization.guarded_eval`  -- guarded evaluation via
+  observability don't cares (III-I, [105]),
+- :mod:`repro.optimization.retiming`      -- Leiserson-Saxe retiming
+  and the low-power retiming heuristic (III-J),
+- :mod:`repro.optimization.lp_scheduling` -- low-power operation
+  scheduling (III-D),
+- :mod:`repro.optimization.allocation`    -- activity-aware resource
+  allocation and binding (III-E),
+- :mod:`repro.optimization.multivoltage`  -- multiple supply-voltage
+  scheduling (III-F),
+- :mod:`repro.optimization.software_opt`  -- cold scheduling and
+  memory-access optimization (III-A).
+"""

@@ -1,0 +1,212 @@
+"""Multiple supply-voltage scheduling (Section III-F, [73]).
+
+Chang-Pedram dynamic programming on tree-structured CDFGs: every node
+accumulates a power-delay curve — the Pareto set of (latest finish
+time, total energy) pairs achievable in its subtree over all voltage
+assignments, including level-shifter costs on voltage crossings.  A
+preorder pass then picks the actual assignment meeting a latency
+constraint at minimum energy.
+
+As in the paper, the algorithm is defined "for the simple case of
+CDFGs with tree structure": every *operation* node must feed exactly
+one consumer (inputs and constants may fan out freely, since they
+carry no energy or delay of their own).  Non-tree graphs are rejected
+with a clear error; callers can duplicate shared subtrees first if a
+tree view of the hardware is acceptable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.library import EnergyDelayPoint, ModuleLibrary
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One Pareto alternative for a subtree."""
+
+    delay: float
+    energy: float
+    voltage: float            # root operation's supply
+
+
+def _prune(points: Sequence[CurvePoint]) -> List[CurvePoint]:
+    """Keep the Pareto frontier (min energy per delay)."""
+    best: List[CurvePoint] = []
+    for p in sorted(points, key=lambda q: (q.delay, q.energy)):
+        if not best or p.energy < best[-1].energy - 1e-12:
+            best.append(p)
+    return best
+
+
+@dataclass
+class VoltageAssignment:
+    voltages: Dict[int, float]
+    energy: float
+    latency: float
+    shifters: int
+
+
+class MultiVoltageScheduler:
+    """DP voltage scheduler over a CDFG and a characterized library."""
+
+    def __init__(self, library: Optional[ModuleLibrary] = None) -> None:
+        self.library = library or ModuleLibrary(width=4)
+
+    # -- curve computation ------------------------------------------
+    def power_delay_curve(self, cdfg: Cdfg) -> List[CurvePoint]:
+        """Curve at the (single) output root of the CDFG."""
+        root = self._root(cdfg)
+        curves = self._curves(cdfg)
+        return curves[root]
+
+    def _root(self, cdfg: Cdfg) -> int:
+        if len(cdfg.outputs) != 1:
+            raise ValueError("DP scheduler expects a single-output CDFG")
+        return next(iter(cdfg.outputs.values()))
+
+    def _check_tree(self, cdfg: Cdfg) -> None:
+        succ = cdfg.successors()
+        for node in cdfg.operations():
+            consumers = len(succ[node.uid])
+            if consumers > 1:
+                raise ValueError(
+                    f"node {node.uid} ({node.kind}) fans out to "
+                    f"{consumers} consumers; the DP voltage scheduler "
+                    "requires a tree CDFG (duplicate shared subtrees "
+                    "first)")
+
+    def _curves(self, cdfg: Cdfg) -> Dict[int, List[CurvePoint]]:
+        self._check_tree(cdfg)
+        curves: Dict[int, List[CurvePoint]] = {}
+        memo_choice: Dict[int, Dict[Tuple[float, float],
+                                    List[Tuple[int, CurvePoint]]]] = {}
+        self._choices = memo_choice
+        for node in cdfg.nodes:          # topological by uid
+            if not node.is_operation():
+                curves[node.uid] = [CurvePoint(0.0, 0.0,
+                                               self.library.voltages[0])]
+                continue
+            options: List[CurvePoint] = []
+            choices: Dict[Tuple[float, float],
+                          List[Tuple[int, CurvePoint]]] = {}
+            for point in self.library.curve(node.kind):
+                # Combine children curves for this root voltage.
+                combos: List[Tuple[float, float,
+                                   List[Tuple[int, CurvePoint]]]] = \
+                    [(0.0, 0.0, [])]
+                for op in node.operands:
+                    child_curve = curves[op]
+                    new_combos = []
+                    for delay, energy, picks in combos:
+                        for cp in child_curve:
+                            s_e, s_d = self.library.shifter_cost(
+                                cp.voltage, point.voltage)
+                            new_combos.append((
+                                max(delay, cp.delay + s_d),
+                                energy + cp.energy + s_e,
+                                picks + [(op, cp)]))
+                    combos = self._prune_combos(new_combos)
+                for delay, energy, picks in combos:
+                    cp = CurvePoint(delay + point.delay,
+                                    energy + point.energy, point.voltage)
+                    options.append(cp)
+                    choices[(cp.delay, cp.energy)] = picks
+            curves[node.uid] = _prune(options)
+            memo_choice[node.uid] = choices
+        return curves
+
+    @staticmethod
+    def _prune_combos(combos):
+        best = {}
+        for delay, energy, picks in combos:
+            key = round(delay, 9)
+            if key not in best or energy < best[key][1]:
+                best[key] = (delay, energy, picks)
+        # Pareto over delay.
+        result = []
+        for delay, energy, picks in sorted(best.values()):
+            if not result or energy < result[-1][1] - 1e-12:
+                result.append((delay, energy, picks))
+        return result
+
+    # -- assignment extraction ---------------------------------------
+    def schedule(self, cdfg: Cdfg, latency: Optional[float] = None
+                 ) -> VoltageAssignment:
+        """Pick voltages meeting the latency bound at minimum energy.
+
+        ``latency=None`` returns the minimum-energy point regardless
+        of delay; an infeasible bound raises ValueError.
+        """
+        root = self._root(cdfg)
+        curves = self._curves(cdfg)
+        feasible = [p for p in curves[root]
+                    if latency is None or p.delay <= latency + 1e-9]
+        if not feasible:
+            raise ValueError(
+                f"latency {latency} infeasible; fastest is "
+                f"{min(p.delay for p in curves[root]):.3f}")
+        chosen = min(feasible, key=lambda p: p.energy)
+
+        voltages: Dict[int, float] = {}
+        shifters = 0
+
+        def assign(uid: int, point: CurvePoint) -> None:
+            nonlocal shifters
+            node = cdfg.node(uid)
+            if not node.is_operation():
+                return
+            voltages[uid] = point.voltage
+            picks = self._choices[uid].get((point.delay, point.energy))
+            if picks is None:      # pragma: no cover - defensive
+                return
+            for child_uid, child_point in picks:
+                if cdfg.node(child_uid).is_operation() and \
+                        not math.isclose(child_point.voltage,
+                                         point.voltage):
+                    shifters += 1
+                assign(child_uid, child_point)
+
+        assign(root, chosen)
+        return VoltageAssignment(voltages, chosen.energy, chosen.delay,
+                                 shifters)
+
+    # -- baseline ------------------------------------------------------
+    def single_voltage_energy(self, cdfg: Cdfg,
+                              voltage: Optional[float] = None
+                              ) -> Tuple[float, float]:
+        """(energy, latency) with every operation at one voltage."""
+        v = voltage if voltage is not None else self.library.voltages[0]
+        energy = 0.0
+        finish: Dict[int, float] = {}
+        latency = 0.0
+        for node in cdfg.nodes:
+            if not node.is_operation():
+                finish[node.uid] = 0.0
+                continue
+            energy += self.library.energy(node.kind, v)
+            start = max((finish[o] for o in node.operands), default=0.0)
+            finish[node.uid] = start + self.library.delay(node.kind, v)
+            latency = max(latency, finish[node.uid])
+        return energy, latency
+
+
+def energy_latency_tradeoff(cdfg: Cdfg,
+                            library: Optional[ModuleLibrary] = None,
+                            n_points: int = 8
+                            ) -> List[Tuple[float, float]]:
+    """(latency bound, energy) sweep for bench C9."""
+    scheduler = MultiVoltageScheduler(library)
+    curve = scheduler.power_delay_curve(cdfg)
+    fastest = min(p.delay for p in curve)
+    slowest = max(p.delay for p in curve)
+    results: List[Tuple[float, float]] = []
+    for k in range(n_points):
+        bound = fastest + (slowest - fastest) * k / max(1, n_points - 1)
+        assignment = scheduler.schedule(cdfg, latency=bound)
+        results.append((bound, assignment.energy))
+    return results

@@ -1,0 +1,302 @@
+"""System-level power management (Section III-B).
+
+Event-driven devices alternate Active and Idle periods; a shutdown
+policy decides when to enter the sleep state.  Implemented policies:
+
+- :class:`AlwaysOnPolicy`        -- no management (baseline),
+- :class:`OraclePolicy`          -- clairvoyant bound: sleeps exactly
+  for every idle period worth sleeping (the 1 + T_I/T_A limit),
+- :class:`StaticTimeoutPolicy`   -- the conventional scheme (Fig. 3):
+  sleep after T idle time units,
+- :class:`SrivastavaRegressionPolicy` -- predict T_I with a quadratic
+  regression on the previous (T_A, T_I) pair [58],
+- :class:`SrivastavaHeuristicPolicy`  -- sleep immediately when the
+  preceding active period was short [58],
+- :class:`HwangWuPolicy`         -- exponential-average prediction
+  with misprediction correction and pre-wakeup [59].
+
+The simulator charges active power, idle-on power, sleep power, and a
+restart energy/time overhead, and reports both the power improvement
+factor and the wakeup latency penalty — the quantities behind the
+paper's "38x improvement, ~3% delay" claim (bench C7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Workload:
+    """Alternating (active, idle) period lengths in time units."""
+
+    periods: List[Tuple[float, float]]
+
+    @property
+    def total_active(self) -> float:
+        return sum(a for a, _i in self.periods)
+
+    @property
+    def total_idle(self) -> float:
+        return sum(i for _a, i in self.periods)
+
+    def shutdown_upper_bound(self) -> float:
+        """Max power improvement 1 + T_I/T_A from the paper."""
+        if self.total_active == 0:
+            return float("inf")
+        return 1.0 + self.total_idle / self.total_active
+
+
+def generate_workload(n_periods: int = 200, seed: int = 0,
+                      mean_active: float = 10.0,
+                      mean_idle: float = 100.0,
+                      idle_tail: float = 2.0) -> Workload:
+    """Event-driven workload with heavy-tailed idle periods.
+
+    Idle lengths are Pareto-like (tail index ``idle_tail``): mostly
+    short idles with occasional very long quiescence, which is what
+    makes prediction worthwhile (X-server-style behaviour).
+    """
+    rng = random.Random(seed)
+    periods: List[Tuple[float, float]] = []
+    for _ in range(n_periods):
+        active = rng.expovariate(1.0 / mean_active)
+        u = rng.random()
+        idle = mean_idle * (idle_tail - 1.0) / idle_tail \
+            * (1.0 / (1.0 - u)) ** (1.0 / idle_tail)
+        # Correlate: short activity tends to precede long idleness
+        # (the observation behind the Srivastava heuristic).
+        if active < 0.5 * mean_active:
+            idle *= 1.8
+        else:
+            idle *= 0.6
+        periods.append((active, idle))
+    return Workload(periods)
+
+
+class Policy:
+    """Decides, for each idle period, when (if ever) to sleep."""
+
+    name = "base"
+
+    def sleep_after(self, history: Sequence[Tuple[float, float]],
+                    current_active: float) -> Optional[float]:
+        """Idle time after which to enter sleep; None = never.
+
+        ``history`` holds completed (active, idle) pairs; the length of
+        the current idle period is unknown to the policy.
+        """
+        raise NotImplementedError
+
+    def wakeup_early(self) -> float:
+        """Pre-wakeup lead time before the (predicted) idle end."""
+        return 0.0
+
+
+class AlwaysOnPolicy(Policy):
+    name = "always-on"
+
+    def sleep_after(self, history, current_active):
+        return None
+
+
+class OraclePolicy(Policy):
+    """Clairvoyant: sleeps at idle start whenever it pays off.
+
+    Used as the achievable bound; the simulator special-cases it by
+    passing the actual idle length through ``oracle_idle``.
+    """
+
+    name = "oracle"
+
+    def __init__(self, breakeven: float) -> None:
+        self.breakeven = breakeven
+        self.oracle_idle: float = 0.0
+
+    def sleep_after(self, history, current_active):
+        return 0.0 if self.oracle_idle > self.breakeven else None
+
+
+class StaticTimeoutPolicy(Policy):
+    """Fig. 3: power down T time units into every idle period."""
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+        self.name = f"static(T={timeout:g})"
+
+    def sleep_after(self, history, current_active):
+        return self.timeout
+
+
+class SrivastavaRegressionPolicy(Policy):
+    """Predict T_I from a quadratic function of the previous period.
+
+    The regression  T_I ~ a + b T_A + c T_A^2 (+ d T_I_prev)  is
+    refitted online over the observed history; sleep immediately when
+    the prediction exceeds the breakeven time.
+    """
+
+    name = "srivastava-regression"
+
+    def __init__(self, breakeven: float, warmup: int = 10) -> None:
+        self.breakeven = breakeven
+        self.warmup = warmup
+
+    def _predict(self, history: Sequence[Tuple[float, float]],
+                 current_active: float) -> float:
+        import numpy as np
+
+        if len(history) < self.warmup:
+            return 0.0
+        rows = []
+        targets = []
+        for k in range(1, len(history)):
+            prev_a, prev_i = history[k - 1]
+            a, i = history[k]
+            rows.append([1.0, a, a * a, prev_i])
+            targets.append(i)
+        coeffs, *_ = np.linalg.lstsq(np.array(rows), np.array(targets),
+                                     rcond=None)
+        prev_i = history[-1][1]
+        x = np.array([1.0, current_active,
+                      current_active * current_active, prev_i])
+        return float(x @ coeffs)
+
+    def sleep_after(self, history, current_active):
+        predicted = self._predict(history, current_active)
+        return 0.0 if predicted > self.breakeven else None
+
+
+class SrivastavaHeuristicPolicy(Policy):
+    """Sleep at once when the preceding active burst was short [58]."""
+
+    name = "srivastava-heuristic"
+
+    def __init__(self, active_fraction: float = 0.6) -> None:
+        self.active_fraction = active_fraction
+
+    def sleep_after(self, history, current_active):
+        if len(history) < 3:
+            return None
+        mean_active = sum(a for a, _i in history) / len(history)
+        if current_active < self.active_fraction * mean_active:
+            return 0.0
+        return None
+
+
+class HwangWuPolicy(Policy):
+    """Exponentially weighted idle prediction with correction and
+    pre-wakeup [59]:  I_pred(k+1) = alpha I_actual(k) + (1-alpha)
+    I_pred(k), saturating corrections on underprediction.
+    """
+
+    name = "hwang-wu"
+
+    def __init__(self, breakeven: float, alpha: float = 0.5,
+                 prewakeup: bool = True) -> None:
+        self.breakeven = breakeven
+        self.alpha = alpha
+        self.prewakeup = prewakeup
+        self._prediction = 0.0
+        self._initialized = False
+
+    def sleep_after(self, history, current_active):
+        if history:
+            last_idle = history[-1][1]
+            if not self._initialized:
+                self._prediction = last_idle
+                self._initialized = True
+            else:
+                self._prediction = (self.alpha * last_idle
+                                    + (1 - self.alpha) * self._prediction)
+        return 0.0 if self._prediction > self.breakeven else None
+
+    def wakeup_early(self) -> float:
+        # Pre-wakeup: start the restart sequence one restart-time
+        # before the predicted idle end so the latency hit is hidden.
+        return self._restart_hint if self.prewakeup else 0.0
+
+    _restart_hint = 0.0
+
+    def set_restart_time(self, restart_time: float) -> None:
+        self._restart_hint = restart_time
+
+
+@dataclass
+class ShutdownReport:
+    """Energy/latency outcome of one policy on one workload."""
+
+    policy: str
+    energy: float
+    baseline_energy: float
+    latency_penalty: float       # extra wait time / total active time
+    sleeps: int
+    mispredictions: int          # sleeps shorter than breakeven
+
+    @property
+    def improvement(self) -> float:
+        if self.energy <= 0:
+            return float("inf")
+        return self.baseline_energy / self.energy
+
+
+def simulate_policy(workload: Workload, policy: Policy,
+                    p_active: float = 1.0, p_idle: float = 0.8,
+                    p_sleep: float = 0.02,
+                    restart_time: float = 2.0,
+                    restart_energy: float = 4.0) -> ShutdownReport:
+    """Run a policy over a workload and account energy and latency.
+
+    An idle period of length I with sleep entered at time tau costs
+    ``tau p_idle + (I - tau) p_sleep + restart_energy`` (if tau < I)
+    and delays the next active burst by up to ``restart_time`` (minus
+    any pre-wakeup overlap).  The breakeven time where sleeping pays is
+    roughly ``restart_energy / (p_idle - p_sleep)``.
+    """
+    history: List[Tuple[float, float]] = []
+    energy = 0.0
+    baseline = 0.0
+    delay = 0.0
+    sleeps = 0
+    mispredictions = 0
+    breakeven = restart_energy / max(1e-9, p_idle - p_sleep)
+
+    for active, idle in workload.periods:
+        energy += active * p_active
+        baseline += active * p_active + idle * p_idle
+        if isinstance(policy, OraclePolicy):
+            policy.oracle_idle = idle
+        tau = policy.sleep_after(history, active)
+        if tau is None or tau >= idle:
+            energy += idle * p_idle
+        else:
+            sleeps += 1
+            asleep = idle - tau
+            energy += tau * p_idle + asleep * p_sleep + restart_energy
+            if asleep < breakeven:
+                mispredictions += 1
+            if isinstance(policy, HwangWuPolicy):
+                policy.set_restart_time(restart_time)
+            lead = min(policy.wakeup_early(), asleep)
+            # Early wakeup burns idle-on power for the lead interval
+            # but hides that much of the restart latency.
+            energy += lead * (p_idle - p_sleep)
+            delay += max(0.0, restart_time - lead)
+        history.append((active, idle))
+
+    latency_penalty = delay / max(1e-9, workload.total_active)
+    return ShutdownReport(
+        policy=policy.name,
+        energy=energy,
+        baseline_energy=baseline,
+        latency_penalty=latency_penalty,
+        sleeps=sleeps,
+        mispredictions=mispredictions,
+    )
+
+
+def breakeven_time(p_idle: float = 0.8, p_sleep: float = 0.02,
+                   restart_energy: float = 4.0) -> float:
+    return restart_energy / max(1e-9, p_idle - p_sleep)

@@ -1,0 +1,46 @@
+"""Register-transfer-level substrate.
+
+- :mod:`repro.rtl.streams`    -- word-level stimulus generators with
+  controllable temporal correlation (the "typical data" of Section
+  II-C: pseudorandom, speech-like AR(1), sinusoid, address traces),
+- :mod:`repro.rtl.components` -- RTL module library backed by real
+  gate-level implementations, with word-level functional models,
+- :mod:`repro.rtl.netlist`    -- RTL netlists of interconnected
+  components plus registers,
+- :mod:`repro.rtl.simulate`   -- RT-level simulation with a pluggable
+  power cosimulator (census/sampler hooks of Section II-C2).
+"""
+
+from repro.rtl.streams import (
+    WordStream,
+    random_stream,
+    correlated_stream,
+    sinusoid_stream,
+    constant_stream,
+    counter_stream,
+    bit_activities,
+    bit_probabilities,
+    word_entropy,
+    bit_entropy,
+)
+from repro.rtl.components import RtlComponent, make_component, COMPONENT_TYPES
+from repro.rtl.netlist import RtlNetlist
+from repro.rtl.simulate import RtlSimulator
+
+__all__ = [
+    "WordStream",
+    "random_stream",
+    "correlated_stream",
+    "sinusoid_stream",
+    "constant_stream",
+    "counter_stream",
+    "bit_activities",
+    "bit_probabilities",
+    "word_entropy",
+    "bit_entropy",
+    "RtlComponent",
+    "make_component",
+    "COMPONENT_TYPES",
+    "RtlNetlist",
+    "RtlSimulator",
+]

@@ -1,0 +1,121 @@
+"""RTL netlists: components wired by word-level signals.
+
+An :class:`RtlNetlist` connects component instances (from
+:mod:`repro.rtl.components`) through named word signals.  Registers
+(``reg`` components) break combinational cycles; everything else must
+form a DAG.  The structure is deliberately simple -- it is the
+"RT-level description" a behavioral synthesizer would emit (Fig. 1),
+and the object RT-level power cosimulation operates on (Section II-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.components import RtlComponent, make_component
+
+
+@dataclass
+class RtlInstance:
+    """A component instance reading word signals and driving one."""
+
+    name: str
+    component: RtlComponent
+    input_signals: List[str]
+    output_signal: str
+
+
+class RtlNetlist:
+    """Word-level netlist of RTL component instances."""
+
+    def __init__(self, name: str = "rtl") -> None:
+        self.name = name
+        self.inputs: List[Tuple[str, int]] = []      # (signal, width)
+        self.outputs: List[str] = []
+        self.instances: List[RtlInstance] = []
+        self.constants: Dict[str, int] = {}
+        self._driver: Dict[str, object] = {}
+
+    def add_input(self, signal: str, width: int) -> str:
+        if signal in self._driver:
+            raise ValueError(f"signal {signal!r} already driven")
+        self.inputs.append((signal, width))
+        self._driver[signal] = "input"
+        return signal
+
+    def add_constant(self, signal: str, value: int, width: int) -> str:
+        if signal in self._driver:
+            raise ValueError(f"signal {signal!r} already driven")
+        self.constants[signal] = value & ((1 << width) - 1)
+        self._driver[signal] = "constant"
+        return signal
+
+    def add_output(self, signal: str) -> str:
+        self.outputs.append(signal)
+        return signal
+
+    def add_instance(self, kind: str, width: int,
+                     input_signals: Sequence[str],
+                     output_signal: Optional[str] = None,
+                     name: Optional[str] = None) -> RtlInstance:
+        component = make_component(kind, width)
+        if len(input_signals) != len(component.input_ports):
+            raise ValueError(
+                f"{kind} takes {len(component.input_ports)} operands, "
+                f"got {len(input_signals)}")
+        if output_signal is None:
+            output_signal = f"w{len(self.instances)}_{kind}"
+        if output_signal in self._driver:
+            raise ValueError(f"signal {output_signal!r} already driven")
+        if name is None:
+            name = f"u{len(self.instances)}_{kind}{width}"
+        instance = RtlInstance(name, component, list(input_signals),
+                               output_signal)
+        self.instances.append(instance)
+        self._driver[output_signal] = instance
+        return instance
+
+    def combinational_order(self) -> List[RtlInstance]:
+        """Non-register instances in dependency order."""
+        ready = {s for s, _w in self.inputs}
+        ready.update(self.constants)
+        ready.update(i.output_signal for i in self.instances
+                     if i.component.kind == "reg")
+        order: List[RtlInstance] = []
+        pending = [i for i in self.instances if i.component.kind != "reg"]
+        while pending:
+            progressed = False
+            still: List[RtlInstance] = []
+            for inst in pending:
+                if all(s in ready for s in inst.input_signals):
+                    order.append(inst)
+                    ready.add(inst.output_signal)
+                    progressed = True
+                else:
+                    still.append(inst)
+            pending = still
+            if pending and not progressed:
+                names = [i.name for i in pending]
+                raise ValueError(
+                    f"combinational cycle or undriven signal among {names}")
+        return order
+
+    def registers(self) -> List[RtlInstance]:
+        return [i for i in self.instances if i.component.kind == "reg"]
+
+    def signal_width(self, signal: str) -> int:
+        driver = self._driver.get(signal)
+        if driver == "input":
+            for s, w in self.inputs:
+                if s == signal:
+                    return w
+        if driver == "constant":
+            return max(1, self.constants[signal].bit_length())
+        if isinstance(driver, RtlInstance):
+            return sum(w for _p, w in driver.component.output_ports)
+        raise KeyError(f"unknown signal {signal!r}")
+
+    def __repr__(self) -> str:
+        return (f"RtlNetlist({self.name!r}, inputs={len(self.inputs)}, "
+                f"instances={len(self.instances)})")

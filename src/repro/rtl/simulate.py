@@ -1,0 +1,113 @@
+"""RT-level simulation with a power cosimulation hook.
+
+The simulator advances the word-level netlist cycle by cycle and
+records, per instance, the operand streams seen at its inputs.  A
+power cosimulator (Section II-C2) can then
+
+- evaluate macro-model equations every cycle (*census*),
+- evaluate them only on sampled cycles (*sampler*),
+- additionally invoke gate-level simulation on a few cycles to
+  de-bias the macro-model (*adaptive*),
+
+all implemented in :mod:`repro.estimation.sampling` on top of the
+recorded streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.rtl.components import RtlComponent
+from repro.rtl.netlist import RtlInstance, RtlNetlist
+from repro.rtl.streams import WordStream
+
+
+@dataclass
+class RtlTrace:
+    """Result of an RT-level simulation run."""
+
+    cycles: int
+    signal_values: Dict[str, List[int]]
+    instance_inputs: Dict[str, List[List[int]]]   # name -> per-cycle operands
+
+    def stream(self, netlist: RtlNetlist, signal: str) -> WordStream:
+        return WordStream(list(self.signal_values[signal]),
+                          netlist.signal_width(signal), signal)
+
+    def operand_streams(self, instance: RtlInstance) -> List[WordStream]:
+        rows = self.instance_inputs[instance.name]
+        streams: List[WordStream] = []
+        for port_index, (_prefix, width) in enumerate(
+                instance.component.input_ports):
+            words = [row[port_index] for row in rows]
+            streams.append(WordStream(words, width,
+                                      f"{instance.name}_op{port_index}"))
+        return streams
+
+
+class RtlSimulator:
+    """Cycle-accurate word-level simulator for an RtlNetlist."""
+
+    def __init__(self, netlist: RtlNetlist) -> None:
+        self.netlist = netlist
+        self._order = netlist.combinational_order()
+        self._registers = netlist.registers()
+
+    def run(self, input_streams: Dict[str, WordStream],
+            cycles: Optional[int] = None) -> RtlTrace:
+        for signal, _w in self.netlist.inputs:
+            if signal not in input_streams:
+                raise ValueError(f"no stimulus for input {signal!r}")
+        if cycles is None:
+            cycles = min(len(s) for s in input_streams.values())
+
+        reg_state: Dict[str, int] = {r.output_signal: 0
+                                     for r in self._registers}
+        signal_values: Dict[str, List[int]] = {
+            s: [] for s in self._all_signals()}
+        instance_inputs: Dict[str, List[List[int]]] = {
+            i.name: [] for i in self.netlist.instances}
+
+        for t in range(cycles):
+            values: Dict[str, int] = dict(self.netlist.constants)
+            for signal, _w in self.netlist.inputs:
+                values[signal] = input_streams[signal].words[t]
+            values.update(reg_state)
+            for inst in self._order:
+                operands = [values[s] for s in inst.input_signals]
+                instance_inputs[inst.name].append(operands)
+                values[inst.output_signal] = inst.component.evaluate(operands)
+            # Registers sample at the cycle boundary.
+            next_state = {}
+            for reg in self._registers:
+                operands = [values[s] for s in reg.input_signals]
+                instance_inputs[reg.name].append(operands)
+                next_state[reg.output_signal] = \
+                    reg.component.evaluate(operands)
+            for signal in signal_values:
+                signal_values[signal].append(values[signal])
+            reg_state = next_state
+
+        return RtlTrace(cycles, signal_values, instance_inputs)
+
+    def _all_signals(self) -> List[str]:
+        signals = [s for s, _w in self.netlist.inputs]
+        signals.extend(self.netlist.constants)
+        signals.extend(i.output_signal for i in self.netlist.instances)
+        return signals
+
+    # ------------------------------------------------------------------
+    def gate_level_power(self, trace: RtlTrace, vdd: float = 1.0,
+                         freq: float = 1.0) -> Dict[str, float]:
+        """Reference power per instance by full gate-level simulation.
+
+        This is the slow path the macro-model techniques avoid; it
+        serves as ground truth in the sampling experiments (C6).
+        """
+        result: Dict[str, float] = {}
+        for inst in self.netlist.instances:
+            streams = trace.operand_streams(inst)
+            result[inst.name] = inst.component.reference_power(
+                streams, vdd=vdd, freq=freq)
+        return result

@@ -1,0 +1,214 @@
+"""Word-level stimulus streams and their statistics.
+
+The accuracy ladder of RT-level macro-models (Section II-C1) is driven
+entirely by input statistics: average activity, per-bit activity,
+sign-bit correlation, and signal probability.  This module generates
+streams with controllable statistics and computes the statistics the
+models consume.
+
+Streams are plain lists of non-negative ints interpreted as ``width``-
+bit words (two's complement for the signed generators), wrapped with
+their width in :class:`WordStream`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class WordStream:
+    """A sequence of ``width``-bit words."""
+
+    words: List[int]
+    width: int
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        self.words = [w & mask for w in self.words]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __iter__(self):
+        return iter(self.words)
+
+    def __getitem__(self, i):
+        return self.words[i]
+
+    def bit(self, word: int, i: int) -> int:
+        return (word >> i) & 1
+
+    def bits_of(self, t: int) -> List[int]:
+        return [(self.words[t] >> i) & 1 for i in range(self.width)]
+
+    def as_vectors(self, prefix: str) -> List[Dict[str, int]]:
+        """Per-cycle input dicts for a gate-level bus ``prefix``."""
+        return [{f"{prefix}{i}": (w >> i) & 1 for i in range(self.width)}
+                for w in self.words]
+
+
+def random_stream(width: int, length: int, seed: int = 0,
+                  bit_prob: float = 0.5) -> WordStream:
+    """Temporally independent words; each bit is 1 w.p. ``bit_prob``."""
+    rng = random.Random(seed)
+    words = []
+    for _ in range(length):
+        w = 0
+        for i in range(width):
+            if rng.random() < bit_prob:
+                w |= 1 << i
+        words.append(w)
+    return WordStream(words, width, f"random(p={bit_prob})")
+
+
+def correlated_stream(width: int, length: int, rho: float = 0.9,
+                      seed: int = 0, amplitude: float = 0.6) -> WordStream:
+    """AR(1) Gaussian process quantized to two's complement.
+
+    This is the "speech-like" data of the dual-bit-type model [40]:
+    strong lag-1 correlation makes the high-order (sign) bits switch
+    rarely and together, while low-order bits stay essentially random.
+    """
+    rng = random.Random(seed)
+    scale = amplitude * (1 << (width - 1))
+    sigma = math.sqrt(max(1e-12, 1.0 - rho * rho))
+    x = 0.0
+    words = []
+    top = (1 << (width - 1)) - 1
+    for _ in range(length):
+        x = rho * x + sigma * rng.gauss(0.0, 1.0)
+        value = int(max(-top - 1, min(top, round(x * scale / 3.0))))
+        words.append(value & ((1 << width) - 1))
+    return WordStream(words, width, f"ar1(rho={rho})")
+
+
+def sinusoid_stream(width: int, length: int, period: float = 64.0,
+                    amplitude: float = 0.9, phase: float = 0.0
+                    ) -> WordStream:
+    """Deterministic sinusoid, the classic DSP stimulus."""
+    top = (1 << (width - 1)) - 1
+    words = []
+    for t in range(length):
+        value = int(round(amplitude * top
+                          * math.sin(2 * math.pi * t / period + phase)))
+        words.append(value & ((1 << width) - 1))
+    return WordStream(words, width, f"sin(T={period})")
+
+
+def constant_stream(width: int, length: int, value: int = 0) -> WordStream:
+    return WordStream([value] * length, width, f"const({value})")
+
+
+def counter_stream(width: int, length: int, start: int = 0,
+                   stride: int = 1) -> WordStream:
+    """Arithmetic sequence (sequential addresses for bus-code studies)."""
+    return WordStream([start + stride * t for t in range(length)], width,
+                      f"count(+{stride})")
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+def bit_activities(stream: WordStream) -> List[float]:
+    """Per-bit toggles per cycle (E_i of the bitwise macro-model)."""
+    if len(stream) < 2:
+        return [0.0] * stream.width
+    counts = [0] * stream.width
+    for prev, cur in zip(stream.words, stream.words[1:]):
+        diff = prev ^ cur
+        for i in range(stream.width):
+            if (diff >> i) & 1:
+                counts[i] += 1
+    return [c / (len(stream) - 1) for c in counts]
+
+
+def average_activity(stream: WordStream) -> float:
+    acts = bit_activities(stream)
+    return sum(acts) / len(acts) if acts else 0.0
+
+
+def bit_probabilities(stream: WordStream) -> List[float]:
+    if not len(stream):
+        return [0.0] * stream.width
+    counts = [0] * stream.width
+    for w in stream.words:
+        for i in range(stream.width):
+            if (w >> i) & 1:
+                counts[i] += 1
+    return [c / len(stream) for c in counts]
+
+
+def _entropy(p: float) -> float:
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def bit_entropy(stream: WordStream) -> float:
+    """Average per-bit entropy, the upper bound h of Section II-B1."""
+    probs = bit_probabilities(stream)
+    if not probs:
+        return 0.0
+    return sum(_entropy(p) for p in probs) / len(probs)
+
+
+def word_entropy(stream: WordStream) -> float:
+    """Empirical word-level (sectional) entropy of the stream."""
+    if not len(stream):
+        return 0.0
+    counts: Dict[int, int] = {}
+    for w in stream.words:
+        counts[w] = counts.get(w, 0) + 1
+    n = len(stream)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())
+
+
+def sign_transition_counts(stream: WordStream) -> Dict[str, int]:
+    """Counts of sign transitions ++, +-, -+, -- (DBT model inputs)."""
+    sign_bit = stream.width - 1
+    counts = {"++": 0, "+-": 0, "-+": 0, "--": 0}
+    for prev, cur in zip(stream.words, stream.words[1:]):
+        a = "-" if (prev >> sign_bit) & 1 else "+"
+        b = "-" if (cur >> sign_bit) & 1 else "+"
+        counts[a + b] += 1
+    return counts
+
+
+def lag1_correlation(stream: WordStream) -> float:
+    """Lag-1 autocorrelation of the signed word values."""
+    if len(stream) < 3:
+        return 0.0
+    half = 1 << (stream.width - 1)
+    values = [w - (w & half) * 2 for w in stream.words]
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    if var == 0:
+        return 0.0
+    cov = sum((values[t] - mean) * (values[t + 1] - mean)
+              for t in range(n - 1)) / (n - 1)
+    return cov / var
+
+
+def breakpoints(stream: WordStream, threshold: float = 0.1
+                ) -> int:
+    """DBT boundary: first bit (from MSB) whose activity is 'random'.
+
+    Returns the index of the lowest sign-region bit; bits below it are
+    treated as white noise, bits at or above as sign bits [40].
+    """
+    acts = bit_activities(stream)
+    random_level = 0.5
+    boundary = stream.width
+    for i in reversed(range(stream.width)):
+        if abs(acts[i] - random_level) <= threshold * random_level:
+            boundary = i + 1
+            break
+        boundary = i
+    return boundary

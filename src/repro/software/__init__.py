@@ -1,0 +1,39 @@
+"""Software substrate: a small load/store ISA with energy accounting.
+
+Stands in for the instrumented processors of Section II-A / III-A:
+
+- :mod:`repro.software.isa`      -- instruction set, binary encodings,
+  and microarchitectural energy parameters,
+- :mod:`repro.software.machine`  -- instruction-set simulator with a
+  direct-mapped data cache, load-use stalls, and per-cycle energy
+  built from instruction base activity, instruction-bus toggles
+  (circuit state), operand-dependent datapath activity, and miss/stall
+  overheads,
+- :mod:`repro.software.programs` -- assembly kernels (dot product,
+  FIR, memory traversal in the two forms of Fig. 2) used by the
+  software power and optimization experiments.
+"""
+
+from repro.software.isa import Instruction, OPCODES, encode, energy_params
+from repro.software.machine import Machine, RunStats
+from repro.software.programs import (
+    dot_product,
+    fir_program,
+    memory_unoptimized,
+    memory_optimized,
+    random_program,
+)
+
+__all__ = [
+    "Instruction",
+    "OPCODES",
+    "encode",
+    "energy_params",
+    "Machine",
+    "RunStats",
+    "dot_product",
+    "fir_program",
+    "memory_unoptimized",
+    "memory_optimized",
+    "random_program",
+]

@@ -1,0 +1,115 @@
+"""Instruction set definition and energy parameters.
+
+A 16-register load/store machine with a 32-bit instruction encoding.
+Energy parameters follow the structure of the Tiwari instruction-level
+model [7]: each opcode has a base cost (datapath + control activity of
+executing that instruction in steady state), inter-instruction cost is
+dominated by instruction-bus and decoder toggling (modeled from the
+Hamming distance of consecutive encodings), and "other" costs cover
+cache misses and pipeline stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: opcode -> (numeric code, class)
+OPCODES: Dict[str, Tuple[int, str]] = {
+    "NOP": (0x00, "nop"),
+    "ADD": (0x11, "alu"),
+    "SUB": (0x12, "alu"),
+    "AND": (0x13, "alu"),
+    "OR": (0x14, "alu"),
+    "XOR": (0x15, "alu"),
+    "SLL": (0x16, "alu"),
+    "ADDI": (0x19, "alui"),
+    "MUL": (0x22, "mul"),
+    "LD": (0x31, "mem"),
+    "ST": (0x32, "mem"),
+    "BEQ": (0x41, "branch"),
+    "BNE": (0x42, "branch"),
+    "JMP": (0x43, "branch"),
+    "HALT": (0x7F, "nop"),
+}
+
+#: Base energy per instruction class (normalized units), the BC_i of
+#: the Tiwari model.  Multiplies burn the most; memory ops pay for the
+#: address datapath; the cache/memory energy itself is in OTHER_COSTS.
+BASE_COSTS: Dict[str, float] = {
+    "nop": 0.3,
+    "alu": 1.0,
+    "alui": 0.9,
+    "mul": 2.8,
+    "mem": 1.6,
+    "branch": 1.1,
+}
+
+#: Energy per toggled instruction-bus bit between consecutive
+#: instructions (source of the circuit-state cost SC_ij).
+BUS_TOGGLE_COST = 0.02
+
+#: Energy per toggled operand bit entering the ALU/multiplier.
+OPERAND_TOGGLE_COST = 0.005
+
+#: "Other" costs OC_k.
+OTHER_COSTS: Dict[str, float] = {
+    "cache_miss": 6.0,
+    "stall": 0.4,
+    "branch_mispredict": 1.2,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembly instruction.
+
+    Fields are used positionally per opcode:
+
+    - ALU ops: ``rd, rs, rt``
+    - ``ADDI``/``SLL``: ``rd, rs, imm``
+    - ``LD``/``ST``: ``rd, rs, imm`` (address = R[rs] + imm; LD writes
+      rd, ST reads rd)
+    - branches: ``rd, rs`` compared, ``imm`` = absolute target
+    - ``JMP``: ``imm`` = absolute target
+    """
+
+    op: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        for r in (self.rd, self.rs, self.rt):
+            if not 0 <= r < 16:
+                raise ValueError("register index out of range")
+
+    @property
+    def klass(self) -> str:
+        return OPCODES[self.op][1]
+
+
+def encode(instr: Instruction) -> int:
+    """32-bit binary encoding: opcode(7) | rd(4) | rs(4) | rt(4) |
+    imm13 (signed)."""
+    code, _klass = OPCODES[instr.op]
+    imm = instr.imm & 0x1FFF
+    return (code << 25) | (instr.rd << 21) | (instr.rs << 17) \
+        | (instr.rt << 13) | imm
+
+
+def hamming32(a: int, b: int) -> int:
+    return bin((a ^ b) & 0xFFFFFFFF).count("1")
+
+
+def energy_params() -> Dict[str, object]:
+    """Snapshot of the machine's energy parameters (for reports)."""
+    return {
+        "base_costs": dict(BASE_COSTS),
+        "bus_toggle_cost": BUS_TOGGLE_COST,
+        "operand_toggle_cost": OPERAND_TOGGLE_COST,
+        "other_costs": dict(OTHER_COSTS),
+    }

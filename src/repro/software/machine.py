@@ -1,0 +1,230 @@
+"""Instruction-set simulator with microarchitectural energy accounting.
+
+The machine executes a program (list of :class:`Instruction`) and
+accumulates energy the way the instrumented processors of [7] and [8]
+dissipate it:
+
+- per-instruction base activity (by opcode class),
+- instruction-bus/decoder toggling between consecutive instructions,
+- operand-dependent datapath toggling,
+- data-cache misses (direct-mapped cache model) and load-use stalls.
+
+It also records the characteristic profile of the run (instruction
+mix, miss rate, stall rate) -- the inputs to profile-driven program
+synthesis (Section II-A, bench C1) -- and the raw instruction-bus
+trace used by cold scheduling (Section III-A, bench C13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.software.isa import (
+    BASE_COSTS,
+    BUS_TOGGLE_COST,
+    OPERAND_TOGGLE_COST,
+    OTHER_COSTS,
+    Instruction,
+    encode,
+    hamming32,
+)
+
+
+@dataclass
+class RunStats:
+    """Outcome of one program execution."""
+
+    cycles: int
+    instructions: int
+    energy: float
+    class_counts: Dict[str, int]
+    opcode_counts: Dict[str, int]
+    pair_counts: Dict[Tuple[str, str], int]
+    cache_misses: int
+    cache_accesses: int
+    stalls: int
+    bus_toggles: int
+    halted: bool
+
+    @property
+    def miss_rate(self) -> float:
+        if self.cache_accesses == 0:
+            return 0.0
+        return self.cache_misses / self.cache_accesses
+
+    @property
+    def stall_rate(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.stalls / self.instructions
+
+    def instruction_mix(self) -> Dict[str, float]:
+        total = max(1, self.instructions)
+        return {k: v / total for k, v in self.class_counts.items()}
+
+    def energy_per_instruction(self) -> float:
+        return self.energy / max(1, self.instructions)
+
+
+class _DirectMappedCache:
+    def __init__(self, lines: int, line_words: int) -> None:
+        self.lines = lines
+        self.line_words = line_words
+        self.tags: List[Optional[int]] = [None] * lines
+
+    def access(self, address: int) -> bool:
+        """True on hit; installs the line on miss."""
+        block = address // self.line_words
+        index = block % self.lines
+        hit = self.tags[index] == block
+        self.tags[index] = block
+        return hit
+
+
+class Machine:
+    """Simple in-order machine: 16 registers, word-addressed memory."""
+
+    def __init__(self, memory_words: int = 4096, cache_lines: int = 16,
+                 cache_line_words: int = 4) -> None:
+        self.memory_words = memory_words
+        self.cache_lines = cache_lines
+        self.cache_line_words = cache_line_words
+        self.registers = [0] * 16
+        self.memory = [0] * memory_words
+
+    def load_memory(self, base: int, values: List[int]) -> None:
+        for i, v in enumerate(values):
+            self.memory[base + i] = v & 0xFFFFFFFF
+
+    def run(self, program: List[Instruction],
+            max_instructions: int = 200_000) -> RunStats:
+        cache = _DirectMappedCache(self.cache_lines, self.cache_line_words)
+        pc = 0
+        cycles = 0
+        energy = 0.0
+        executed = 0
+        stalls = 0
+        misses = 0
+        accesses = 0
+        bus_toggles = 0
+        class_counts: Dict[str, int] = {}
+        opcode_counts: Dict[str, int] = {}
+        pair_counts: Dict[Tuple[str, str], int] = {}
+        prev_encoding: Optional[int] = None
+        prev_op: Optional[str] = None
+        prev_load_rd: Optional[int] = None
+        prev_operands = (0, 0)
+        halted = False
+        mask = 0xFFFFFFFF
+
+        while 0 <= pc < len(program) and executed < max_instructions:
+            instr = program[pc]
+            executed += 1
+            cycles += 1
+            klass = instr.klass
+            class_counts[klass] = class_counts.get(klass, 0) + 1
+            opcode_counts[instr.op] = opcode_counts.get(instr.op, 0) + 1
+            if prev_op is not None:
+                key = (prev_op, instr.op)
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+
+            # Base + circuit-state energy.
+            energy += BASE_COSTS[klass]
+            word = encode(instr)
+            if prev_encoding is not None:
+                toggles = hamming32(prev_encoding, word)
+                bus_toggles += toggles
+                energy += BUS_TOGGLE_COST * toggles
+            prev_encoding = word
+
+            regs = self.registers
+            a, b = regs[instr.rs], regs[instr.rt]
+
+            # Load-use stall: previous LD's destination consumed now.
+            if prev_load_rd is not None and \
+                    prev_load_rd in (instr.rs, instr.rt):
+                stalls += 1
+                cycles += 1
+                energy += OTHER_COSTS["stall"]
+            prev_load_rd = None
+
+            next_pc = pc + 1
+            if instr.op in ("ADD", "SUB", "AND", "OR", "XOR", "MUL"):
+                energy += OPERAND_TOGGLE_COST * (
+                    hamming32(prev_operands[0], a)
+                    + hamming32(prev_operands[1], b))
+                prev_operands = (a, b)
+                if instr.op == "ADD":
+                    value = a + b
+                elif instr.op == "SUB":
+                    value = a - b
+                elif instr.op == "AND":
+                    value = a & b
+                elif instr.op == "OR":
+                    value = a | b
+                elif instr.op == "XOR":
+                    value = a ^ b
+                else:
+                    value = a * b
+                    cycles += 1   # multiplier takes an extra cycle
+                if instr.rd:
+                    regs[instr.rd] = value & mask
+            elif instr.op == "ADDI":
+                if instr.rd:
+                    regs[instr.rd] = (regs[instr.rs] + _sext(instr.imm)) \
+                        & mask
+            elif instr.op == "SLL":
+                if instr.rd:
+                    regs[instr.rd] = (regs[instr.rs] << (instr.imm & 31)) \
+                        & mask
+            elif instr.op in ("LD", "ST"):
+                address = (regs[instr.rs] + _sext(instr.imm)) \
+                    % self.memory_words
+                accesses += 1
+                if not cache.access(address):
+                    misses += 1
+                    cycles += 4
+                    energy += OTHER_COSTS["cache_miss"]
+                if instr.op == "LD":
+                    if instr.rd:
+                        regs[instr.rd] = self.memory[address]
+                    prev_load_rd = instr.rd
+                else:
+                    self.memory[address] = regs[instr.rd]
+            elif instr.op in ("BEQ", "BNE"):
+                lhs, rhs = regs[instr.rd], regs[instr.rs]
+                taken = (lhs == rhs) if instr.op == "BEQ" else (lhs != rhs)
+                if taken:
+                    next_pc = instr.imm
+                    # Static predict-not-taken: taken branches flush.
+                    energy += OTHER_COSTS["branch_mispredict"]
+                    cycles += 1
+            elif instr.op == "JMP":
+                next_pc = instr.imm
+            elif instr.op == "HALT":
+                halted = True
+                break
+            # NOP: nothing.
+            regs[0] = 0
+            pc = next_pc
+            prev_op = instr.op
+
+        return RunStats(
+            cycles=cycles,
+            instructions=executed,
+            energy=energy,
+            class_counts=class_counts,
+            opcode_counts=opcode_counts,
+            pair_counts=pair_counts,
+            cache_misses=misses,
+            cache_accesses=accesses,
+            stalls=stalls,
+            bus_toggles=bus_toggles,
+            halted=halted,
+        )
+
+
+def _sext(imm13: int) -> int:
+    imm13 &= 0x1FFF
+    return imm13 - 0x2000 if imm13 & 0x1000 else imm13

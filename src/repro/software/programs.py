@@ -1,0 +1,147 @@
+"""Assembly kernels for the software power experiments.
+
+Includes the two code shapes of Fig. 2 (array round trip through
+memory vs. scalarized into a register), classic DSP kernels, and a
+random-program generator with a controllable instruction mix (the raw
+material of profile-driven program synthesis, bench C1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.software.isa import Instruction
+
+I = Instruction
+
+
+def dot_product(n: int, a_base: int = 0, b_base: int = 1024
+                ) -> List[Instruction]:
+    """r1 = sum a[i]*b[i]; loop over ``n`` elements."""
+    # r2 = i, r3 = n, r4/r5 = operands, r6 = product, r1 = acc
+    return [
+        I("ADDI", rd=1, rs=0, imm=0),
+        I("ADDI", rd=2, rs=0, imm=0),
+        I("ADDI", rd=3, rs=0, imm=n),
+        # loop:  (pc = 3)
+        I("LD", rd=4, rs=2, imm=a_base),
+        I("LD", rd=5, rs=2, imm=b_base),
+        I("MUL", rd=6, rs=4, rt=5),
+        I("ADD", rd=1, rs=1, rt=6),
+        I("ADDI", rd=2, rs=2, imm=1),
+        I("BNE", rd=2, rs=3, imm=3),
+        I("HALT"),
+    ]
+
+
+def fir_program(taps: Sequence[int], n: int, x_base: int = 0,
+                y_base: int = 2048, c_base: int = 3000
+                ) -> List[Instruction]:
+    """y[i] = sum_k c[k] * x[i+k] for i in range(n)."""
+    k = len(taps)
+    program: List[Instruction] = [
+        I("ADDI", rd=2, rs=0, imm=0),       # i
+        I("ADDI", rd=3, rs=0, imm=n),
+    ]
+    loop_start = len(program)
+    program.append(I("ADDI", rd=1, rs=0, imm=0))   # acc = 0
+    for j in range(k):
+        program.extend([
+            I("LD", rd=4, rs=2, imm=x_base + j),
+            I("LD", rd=5, rs=0, imm=c_base + j),
+            I("MUL", rd=6, rs=4, rt=5),
+            I("ADD", rd=1, rs=1, rt=6),
+        ])
+    program.extend([
+        I("ST", rd=1, rs=2, imm=y_base),
+        I("ADDI", rd=2, rs=2, imm=1),
+        I("BNE", rd=2, rs=3, imm=loop_start),
+        I("HALT"),
+    ])
+    return program
+
+
+def memory_unoptimized(n: int, a_base: int = 0, b_base: int = 1024,
+                       c_base: int = 2048) -> List[Instruction]:
+    """Fig. 2 left: b[i] = a[i] + 1 then c[i] = b[i] * 2.
+
+    The intermediate array ``b`` makes a full round trip through
+    memory: 2n extra accesses.
+    """
+    return [
+        # first loop: b[i] = a[i] + 1
+        I("ADDI", rd=2, rs=0, imm=0),
+        I("ADDI", rd=3, rs=0, imm=n),
+        I("LD", rd=4, rs=2, imm=a_base),            # pc=2
+        I("ADDI", rd=4, rs=4, imm=1),
+        I("ST", rd=4, rs=2, imm=b_base),
+        I("ADDI", rd=2, rs=2, imm=1),
+        I("BNE", rd=2, rs=3, imm=2),
+        # second loop: c[i] = b[i] * 2
+        I("ADDI", rd=2, rs=0, imm=0),
+        I("LD", rd=4, rs=2, imm=b_base),            # pc=8
+        I("ADD", rd=4, rs=4, rt=4),
+        I("ST", rd=4, rs=2, imm=c_base),
+        I("ADDI", rd=2, rs=2, imm=1),
+        I("BNE", rd=2, rs=3, imm=8),
+        I("HALT"),
+    ]
+
+
+def memory_optimized(n: int, a_base: int = 0,
+                     c_base: int = 2048) -> List[Instruction]:
+    """Fig. 2 right: fused loop keeps b[i] in a register."""
+    return [
+        I("ADDI", rd=2, rs=0, imm=0),
+        I("ADDI", rd=3, rs=0, imm=n),
+        I("LD", rd=4, rs=2, imm=a_base),            # pc=2
+        I("ADDI", rd=4, rs=4, imm=1),               # b kept in r4
+        I("ADD", rd=4, rs=4, rt=4),
+        I("ST", rd=4, rs=2, imm=c_base),
+        I("ADDI", rd=2, rs=2, imm=1),
+        I("BNE", rd=2, rs=3, imm=2),
+        I("HALT"),
+    ]
+
+
+_MIX_OPS: Dict[str, List[str]] = {
+    "alu": ["ADD", "SUB", "AND", "OR", "XOR"],
+    "alui": ["ADDI"],
+    "mul": ["MUL"],
+    "mem": ["LD", "ST"],
+    "nop": ["NOP"],
+}
+
+
+def random_program(length: int, mix: Optional[Dict[str, float]] = None,
+                   seed: int = 0, data_span: int = 512
+                   ) -> List[Instruction]:
+    """Straight-line program with a prescribed instruction-class mix.
+
+    Branch-free by construction (profile synthesis handles control
+    behaviour separately); ends with HALT.
+    """
+    rng = random.Random(seed)
+    mix = mix or {"alu": 0.45, "alui": 0.15, "mul": 0.1, "mem": 0.25,
+                  "nop": 0.05}
+    classes = list(mix)
+    weights = [mix[c] for c in classes]
+    program: List[Instruction] = []
+    for _ in range(length):
+        klass = rng.choices(classes, weights)[0]
+        op = rng.choice(_MIX_OPS[klass])
+        rd = rng.randrange(1, 16)
+        rs = rng.randrange(16)
+        rt = rng.randrange(16)
+        imm = rng.randrange(data_span)
+        if op in ("LD", "ST"):
+            program.append(I(op, rd=rd, rs=0, imm=imm))
+        elif op == "ADDI":
+            program.append(I(op, rd=rd, rs=rs, imm=rng.randrange(64)))
+        elif op == "NOP":
+            program.append(I("NOP"))
+        else:
+            program.append(I(op, rd=rd, rs=rs, rt=rt))
+    program.append(I("HALT"))
+    return program

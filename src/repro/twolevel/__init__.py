@@ -1,0 +1,28 @@
+"""Two-level (sum-of-products) logic representation and minimization.
+
+Provides cubes, covers, Quine-McCluskey prime generation, essential
+prime extraction, and a greedy covering minimizer.  This substrate
+plays the role SIS/espresso play in the paper: it produces optimized
+two-level covers whose sizes feed
+
+- the Nemani-Najm area-complexity model (Section II-B2, [15], [16]),
+- the Landman-Rabaey controller power model (its minterm count N_M),
+- FSM-to-netlist synthesis (Section III-H).
+"""
+
+from repro.twolevel.cubes import Cube, Cover
+from repro.twolevel.quine_mccluskey import (
+    prime_implicants,
+    essential_primes,
+    minimize,
+    minimize_cover,
+)
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "prime_implicants",
+    "essential_primes",
+    "minimize",
+    "minimize_cover",
+]

@@ -1,0 +1,171 @@
+"""Cube and cover datatypes for two-level logic.
+
+A cube over n variables is stored as a pair of bit masks:
+
+- ``care``: bit i set if variable i is specified in the cube,
+- ``value``: bit i gives the required value of variable i (only
+  meaningful where ``care`` is set).
+
+A minterm is a cube with all n care bits set.  Covers are plain lists
+of cubes with a shared width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class Cube:
+    """Product term over ``n`` Boolean variables."""
+
+    __slots__ = ("n", "care", "value")
+
+    def __init__(self, n: int, care: int, value: int) -> None:
+        if value & ~care:
+            raise ValueError("value bits set outside the care mask")
+        self.n = n
+        self.care = care
+        self.value = value
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse a PLA-style cube string, e.g. ``'1-0'``.
+
+        Character 0 of the string is variable 0 (bit 0).
+        """
+        care = 0
+        value = 0
+        for i, ch in enumerate(text):
+            if ch == "1":
+                care |= 1 << i
+                value |= 1 << i
+            elif ch == "0":
+                care |= 1 << i
+            elif ch != "-":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(len(text), care, value)
+
+    @classmethod
+    def minterm(cls, n: int, m: int) -> "Cube":
+        return cls(n, (1 << n) - 1, m)
+
+    def to_string(self) -> str:
+        chars = []
+        for i in range(self.n):
+            if not (self.care >> i) & 1:
+                chars.append("-")
+            elif (self.value >> i) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def literals(self) -> int:
+        """Number of literals (specified variables) in the cube."""
+        return bin(self.care).count("1")
+
+    def size(self) -> int:
+        """Number of minterms covered: 2**(n - literals)."""
+        return 1 << (self.n - self.literals())
+
+    def contains(self, other: "Cube") -> bool:
+        """True if this cube covers every minterm of ``other``."""
+        if self.care & ~other.care:
+            return False
+        return (other.value & self.care) == self.value
+
+    def covers_minterm(self, m: int) -> bool:
+        return (m & self.care) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        common = self.care & other.care
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        if not self.intersects(other):
+            return None
+        return Cube(self.n, self.care | other.care, self.value | other.value)
+
+    def merge(self, other: "Cube") -> Optional["Cube"]:
+        """Combine two cubes differing in exactly one care bit's value.
+
+        This is the pairing step of Quine-McCluskey.  Returns None if
+        the cubes are not adjacent.
+        """
+        if self.care != other.care:
+            return None
+        diff = self.value ^ other.value
+        if diff == 0 or diff & (diff - 1):
+            return None
+        return Cube(self.n, self.care & ~diff, self.value & ~diff)
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate the minterms covered by the cube."""
+        free = [i for i in range(self.n) if not (self.care >> i) & 1]
+        base = self.value
+        for combo in range(1 << len(free)):
+            m = base
+            for j, bit_pos in enumerate(free):
+                if (combo >> j) & 1:
+                    m |= 1 << bit_pos
+            yield m
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cube)
+            and self.n == other.n
+            and self.care == other.care
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.care, self.value))
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r})"
+
+
+class Cover:
+    """A sum of product terms (cubes) of common width."""
+
+    def __init__(self, n: int, cubes: Iterable[Cube] = ()) -> None:
+        self.n = n
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            self.add(cube)
+
+    def add(self, cube: Cube) -> None:
+        if cube.n != self.n:
+            raise ValueError("cube width does not match cover width")
+        self.cubes.append(cube)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def literal_count(self) -> int:
+        return sum(cube.literals() for cube in self.cubes)
+
+    def evaluate(self, m: int) -> bool:
+        return any(cube.covers_minterm(m) for cube in self.cubes)
+
+    def minterms(self) -> List[int]:
+        found = set()
+        for cube in self.cubes:
+            found.update(cube.minterms())
+        return sorted(found)
+
+    def covers(self, minterm: int) -> bool:
+        return self.evaluate(minterm)
+
+    def to_strings(self) -> List[str]:
+        return [cube.to_string() for cube in self.cubes]
+
+    @classmethod
+    def from_minterms(cls, n: int, minterms: Sequence[int]) -> "Cover":
+        return cls(n, (Cube.minterm(n, m) for m in minterms))
+
+    def __repr__(self) -> str:
+        return f"Cover(n={self.n}, cubes={len(self.cubes)})"

@@ -1,0 +1,197 @@
+"""Heuristic two-level minimization (espresso-style EXPAND/IRREDUNDANT).
+
+Quine-McCluskey (:mod:`repro.twolevel.quine_mccluskey`) is exact but
+exponential in the variable count; the heuristic loop here scales to
+wider functions, mirroring how espresso replaces exact minimization in
+real flows (the paper's synthesis steps all assume such a minimizer):
+
+- EXPAND: greedily drop literals from each cube while it stays inside
+  onset + dc (checked against an explicit off-set, or by cofactor
+  containment when the off-set is given implicitly),
+- IRREDUNDANT: remove cubes covered by the rest of the cover,
+- REDUCE: shrink cubes to the smallest cube containing their
+  still-uniquely-covered minterms, enabling further expansion,
+
+iterated until the literal count stops improving.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.twolevel.cubes import Cover, Cube
+
+
+def _blocked(cube: Cube, offset: Sequence[Cube]) -> bool:
+    """Does the cube intersect the off-set?"""
+    return any(cube.intersects(off) for off in offset)
+
+
+def expand_cube(cube: Cube, offset: Sequence[Cube]) -> Cube:
+    """Greedily remove literals while avoiding the off-set.
+
+    Literal order: try dropping the literal whose removal is blocked
+    by the fewest off-set cubes first (a cheap column-count heuristic).
+    """
+    current = cube
+    improved = True
+    while improved:
+        improved = False
+        candidates = []
+        for i in range(current.n):
+            if not (current.care >> i) & 1:
+                continue
+            bigger = Cube(current.n, current.care & ~(1 << i),
+                          current.value & ~(1 << i))
+            if not _blocked(bigger, offset):
+                candidates.append((bigger.literals(), i, bigger))
+        if candidates:
+            _lits, _i, current = min(candidates)
+            improved = True
+    return current
+
+
+def irredundant(cover: Cover, dc: Sequence[Cube] = ()) -> Cover:
+    """Drop cubes whose minterms are covered by the rest (+ dc)."""
+    cubes = list(cover.cubes)
+    keep: List[Cube] = []
+    for i, cube in enumerate(cubes):
+        others = keep + cubes[i + 1:]
+        if not _covered_by(cube, others, dc):
+            keep.append(cube)
+    return Cover(cover.n, keep)
+
+
+def _covered_by(cube: Cube, others: Sequence[Cube],
+                dc: Sequence[Cube]) -> bool:
+    covers = list(others) + list(dc)
+    return all(any(o.covers_minterm(m) for o in covers)
+               for m in cube.minterms())
+
+
+def reduce_cube(cube: Cube, others: Sequence[Cube],
+                dc: Sequence[Cube]) -> Cube:
+    """Smallest cube containing the minterms only this cube covers."""
+    unique = [m for m in cube.minterms()
+              if not any(o.covers_minterm(m) for o in others)
+              and not any(d.covers_minterm(m) for d in dc)]
+    if not unique:
+        return cube
+    care = (1 << cube.n) - 1
+    value = unique[0]
+    for m in unique[1:]:
+        care &= ~(value ^ m)
+        value &= care
+    return Cube(cube.n, care, value)
+
+
+def minimize_heuristic(n: int, onset: Sequence[int],
+                       dc: Sequence[int] = (),
+                       max_passes: int = 5) -> Cover:
+    """Espresso-style minimization from minterm lists.
+
+    The off-set is materialized as maximal cubes via complementation
+    of (onset + dc) by recursive Shannon cofactoring; for the widths
+    this library targets (n <= ~20 with sparse on-sets) that stays
+    cheap because the recursion stops at constant cofactors.
+    """
+    onset = sorted(set(onset))
+    if not onset:
+        return Cover(n)
+    allowed = set(onset) | set(dc)
+    if len(allowed) == 1 << n:
+        cover = Cover(n)
+        cover.add(Cube(n, 0, 0))
+        return cover
+
+    offset = complement_cubes(n, sorted(allowed))
+    cover = Cover(n, (Cube.minterm(n, m) for m in onset))
+
+    best_literals = cover.literal_count()
+    dc_cubes = [Cube.minterm(n, m) for m in dc]
+    for _pass in range(max_passes):
+        expanded = Cover(n, (expand_cube(c, offset) for c in cover))
+        pruned = irredundant(expanded, dc_cubes)
+        reduced = Cover(n, (
+            reduce_cube(c, [o for o in pruned.cubes if o is not c],
+                        dc_cubes)
+            for c in pruned.cubes))
+        cover = irredundant(
+            Cover(n, (expand_cube(c, offset) for c in reduced.cubes)),
+            dc_cubes)
+        literals = cover.literal_count()
+        if literals >= best_literals:
+            break
+        best_literals = literals
+    return cover
+
+
+def complement_cubes(n: int, onset: Sequence[int]) -> List[Cube]:
+    """Cover of the complement of a minterm set, via Shannon recursion.
+
+    Returns a (not necessarily minimal) cube cover of every minterm
+    not in ``onset``.
+    """
+    onset_set: Set[int] = set(onset)
+
+    def walk(level: int, care: int, value: int) -> List[Cube]:
+        # Minterms under this partial assignment.
+        free = n - level
+        base = value
+        covered = _count_in(onset_set, n, care, value)
+        total = 1 << free
+        if covered == 0:
+            return [Cube(n, care, value)]
+        if covered == total:
+            return []
+        bit = 1 << level
+        return (walk(level + 1, care | bit, value)
+                + walk(level + 1, care | bit, value | bit))
+
+    return walk(0, 0, 0)
+
+
+def _count_in(onset: Set[int], n: int, care: int, value: int) -> int:
+    # Count onset minterms matching the partial assignment.  The
+    # recursion in complement_cubes keeps partial spaces small enough
+    # that filtering the on-set directly is fine (on-set sizes are the
+    # bottleneck, not 2^n).
+    return sum(1 for m in onset if (m & care) == value)
+
+
+def minimize_with_offset(n: int, onset: Sequence[int],
+                         offset_cubes: Sequence[Cube]) -> Cover:
+    """Cover the on-set avoiding an explicitly given off-set.
+
+    Everything outside onset and offset is don't care.  This form
+    avoids materializing huge don't-care spaces (e.g. the unused-code
+    space of a one-hot-encoded controller): each on-set minterm is
+    expanded greedily against the off-set cubes, then a greedy cover
+    over the on-set keeps the useful expansions.
+    """
+    onset = sorted(set(onset))
+    if not onset:
+        return Cover(n)
+    if not offset_cubes:
+        cover = Cover(n)
+        cover.add(Cube(n, 0, 0))
+        return cover
+
+    expanded = [expand_cube(Cube.minterm(n, m), offset_cubes)
+                for m in onset]
+    # Greedy cover of the on-set minterms.
+    uncovered = set(onset)
+    chosen: List[Cube] = []
+    candidates = list({c for c in expanded})
+    while uncovered:
+        best = max(candidates,
+                   key=lambda c: (sum(1 for m in uncovered
+                                      if c.covers_minterm(m)),
+                                  -c.literals()))
+        gained = {m for m in uncovered if best.covers_minterm(m)}
+        if not gained:        # pragma: no cover - expansions cover seeds
+            raise RuntimeError("offset covering stalled")
+        chosen.append(best)
+        candidates.remove(best)
+        uncovered -= gained
+    return Cover(n, chosen)

@@ -1,0 +1,117 @@
+"""Quine-McCluskey prime generation and covering.
+
+Exact prime-implicant generation with don't cares, essential prime
+extraction (the quantity the Nemani-Najm linear measure is built on),
+and minimization by essential extraction followed by greedy set cover.
+
+Complexity is exponential in the variable count; the intended domain is
+the n <= ~14 single-output functions used by the high-level complexity
+models and FSM synthesis, matching the scale of the paper's own
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.twolevel.cubes import Cube, Cover
+
+
+def prime_implicants(n: int, onset: Sequence[int],
+                     dc: Sequence[int] = ()) -> List[Cube]:
+    """All prime implicants of the function with the given on/dc sets."""
+    onset_set = set(onset)
+    dc_set = set(dc) - onset_set
+    current: Set[Cube] = {Cube.minterm(n, m) for m in onset_set | dc_set}
+    primes: List[Cube] = []
+
+    while current:
+        merged_from: Set[Cube] = set()
+        next_level: Set[Cube] = set()
+        # Group by care mask and popcount of value for fast adjacency.
+        groups: Dict[Tuple[int, int], List[Cube]] = {}
+        for cube in current:
+            key = (cube.care, bin(cube.value).count("1"))
+            groups.setdefault(key, []).append(cube)
+        for (care, ones), cubes in groups.items():
+            partners = groups.get((care, ones + 1), [])
+            for a in cubes:
+                for b in partners:
+                    combined = a.merge(b)
+                    if combined is not None:
+                        next_level.add(combined)
+                        merged_from.add(a)
+                        merged_from.add(b)
+        primes.extend(cube for cube in current if cube not in merged_from)
+        current = next_level
+
+    return primes
+
+
+def essential_primes(n: int, onset: Sequence[int],
+                     dc: Sequence[int] = ()) -> List[Cube]:
+    """Prime implicants that are the sole cover of some on-set minterm."""
+    primes = prime_implicants(n, onset, dc)
+    essentials: List[Cube] = []
+    seen: Set[Cube] = set()
+    for m in onset:
+        covering = [p for p in primes if p.covers_minterm(m)]
+        if len(covering) == 1 and covering[0] not in seen:
+            seen.add(covering[0])
+            essentials.append(covering[0])
+    return essentials
+
+
+def minimize(n: int, onset: Sequence[int], dc: Sequence[int] = ()) -> Cover:
+    """Near-minimal SOP cover: essential primes + greedy covering.
+
+    The greedy phase picks, at each step, the prime covering the most
+    still-uncovered on-set minterms (ties broken toward fewer literals),
+    which matches the classical QM covering heuristic.
+    """
+    onset = sorted(set(onset))
+    if not onset:
+        return Cover(n)
+    full = (1 << n) - 1
+    if len(set(onset) | set(dc)) == (1 << n):
+        # Tautology: single universal cube.
+        cover = Cover(n)
+        cover.add(Cube(n, 0, 0))
+        return cover
+    primes = prime_implicants(n, onset, dc)
+    uncovered = set(onset)
+    chosen: List[Cube] = []
+
+    for m in onset:
+        covering = [p for p in primes if p.covers_minterm(m)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for cube in chosen:
+        uncovered -= set(x for x in uncovered if cube.covers_minterm(x))
+
+    remaining = [p for p in primes if p not in chosen]
+    while uncovered:
+        best = max(
+            remaining,
+            key=lambda p: (sum(1 for m in uncovered if p.covers_minterm(m)),
+                           -p.literals()))
+        gained = {m for m in uncovered if best.covers_minterm(m)}
+        if not gained:  # pragma: no cover - defensive; primes always cover
+            raise RuntimeError("greedy covering stalled")
+        chosen.append(best)
+        remaining.remove(best)
+        uncovered -= gained
+
+    assert all(any(c.covers_minterm(m) for c in chosen) for m in onset)
+    del full
+    return Cover(n, chosen)
+
+
+def minimize_cover(cover: Cover, dc: Iterable[int] = ()) -> Cover:
+    """Minimize an existing cover by re-extracting its minterms."""
+    return minimize(cover.n, cover.minterms(), list(dc))
+
+
+def cover_area_literals(cover: Cover) -> int:
+    """Literal count, the usual two-level area proxy."""
+    return cover.literal_count()

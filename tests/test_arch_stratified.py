@@ -1,0 +1,104 @@
+"""Tests for the architectural CPU model and stratified sampling."""
+
+import pytest
+
+from repro.estimation.architectural import (
+    ArchitecturalModel,
+    calibrate,
+)
+from repro.estimation.probabilistic import (
+    monte_carlo_power,
+    stratified_monte_carlo,
+)
+from repro.estimation.software_power import TiwariModel
+from repro.logic.generators import chained_adder_tree, \
+    ripple_carry_adder
+from repro.logic.simulate import collect_activity, random_vectors
+from repro.software import Machine, dot_product, random_program
+
+
+class TestArchitecturalModel:
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        reference = Machine().run(random_program(2000, seed=7))
+        return calibrate(reference)
+
+    def test_calibration_exact_on_reference(self, calibrated):
+        reference = Machine().run(random_program(2000, seed=7))
+        assert calibrated.estimate(reference) == pytest.approx(
+            reference.energy, rel=1e-9)
+
+    def test_generalizes_to_other_workloads(self, calibrated):
+        for seed in (11, 12):
+            stats = Machine().run(random_program(1200, seed=seed))
+            assert calibrated.relative_error(stats) < 0.10, seed
+
+    def test_breakdown_sums_to_estimate(self, calibrated):
+        stats = Machine().run(random_program(500, seed=9))
+        parts = calibrated.breakdown(stats)
+        assert sum(parts.values()) == pytest.approx(
+            calibrated.estimate(stats))
+
+    def test_multiplier_heavy_workload_shifts_breakdown(self, calibrated):
+        mul_heavy = Machine().run(
+            random_program(800, mix={"mul": 0.7, "alu": 0.3}, seed=13))
+        alu_heavy = Machine().run(
+            random_program(800, mix={"mul": 0.05, "alu": 0.95}, seed=13))
+        b_mul = calibrated.breakdown(mul_heavy)
+        b_alu = calibrated.breakdown(alu_heavy)
+        assert b_mul["multiplier"] > b_alu["multiplier"]
+        assert b_alu["alu"] > b_mul["alu"]
+
+    def test_coarser_than_instruction_level(self, calibrated):
+        """[5]-style module counts vs the Tiwari model: the
+        instruction-level model (with pair terms) is at least as
+        accurate on a kernel with strong inter-instruction structure."""
+        tiwari = TiwariModel.characterize(
+            opcodes=["ADD", "MUL", "ADDI", "LD", "ST", "NOP"],
+            loop_length=150)
+        machine = Machine()
+        machine.load_memory(0, list(range(64)))
+        machine.load_memory(1024, list(range(64)))
+        stats = machine.run(dot_product(64))
+        assert tiwari.relative_error(stats) <= \
+            calibrated.relative_error(stats) + 0.02
+
+
+class TestStratifiedSampling:
+    def test_matches_reference(self):
+        circuit = ripple_carry_adder(4)
+        result = stratified_monte_carlo(circuit, budget=500, seed=1)
+        reference = collect_activity(
+            circuit, random_vectors(circuit.inputs, 5000, seed=2)
+        ).average_power()
+        assert result.power == pytest.approx(reference, rel=0.12)
+        assert result.vectors_used <= 520
+
+    def test_strata_weights_sum_to_one(self):
+        circuit = ripple_carry_adder(3)
+        result = stratified_monte_carlo(circuit, budget=200, seed=3)
+        assert sum(result.strata_weights) == pytest.approx(1.0)
+
+    def test_energy_grows_with_distance_band(self):
+        """More input bits flipping -> more switched energy, which is
+        why Hamming distance works as the stratification variable."""
+        circuit = chained_adder_tree(3, 2)
+        result = stratified_monte_carlo(circuit, budget=600, seed=4)
+        assert result.strata_means[0] < result.strata_means[-1]
+
+    def test_variance_reduction_vs_simple_sampling(self):
+        """At equal budget, stratified estimates scatter less across
+        seeds than simple Monte Carlo batches."""
+        import statistics
+
+        circuit = ripple_carry_adder(4)
+        stratified = [stratified_monte_carlo(circuit, budget=120,
+                                             seed=s).power
+                      for s in range(12)]
+        simple = []
+        for s in range(12):
+            vectors = random_vectors(circuit.inputs, 120, seed=100 + s)
+            simple.append(collect_activity(circuit,
+                                           vectors).average_power())
+        assert statistics.pstdev(stratified) < \
+            1.2 * statistics.pstdev(simple)

@@ -1,0 +1,281 @@
+"""Unit and property tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.true.is_true()
+        assert mgr.false.is_false()
+        assert not mgr.true.is_false()
+
+    def test_var_idempotent(self, mgr):
+        assert mgr.var("a") == mgr.var("a")
+
+    def test_canonical_and(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert (a & b) == (b & a)
+
+    def test_double_negation(self, mgr):
+        a = mgr.var("a")
+        assert ~~a == a
+
+    def test_xor_identity(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert (a ^ b) == ((a & ~b) | (~a & b))
+
+    def test_demorgan(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert ~(a & b) == (~a | ~b)
+
+    def test_truth_ambiguous(self, mgr):
+        with pytest.raises(TypeError):
+            bool(mgr.var("a"))
+
+    def test_cross_manager_rejected(self, mgr):
+        other = BddManager()
+        with pytest.raises(ValueError):
+            mgr.var("a") & other.var("a")
+
+    def test_ite(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a.ite(b, c)
+        assert f.evaluate({"a": True, "b": True, "c": False})
+        assert not f.evaluate({"a": True, "b": False, "c": True})
+        assert f.evaluate({"a": False, "b": False, "c": True})
+
+
+class TestEvaluation:
+    def test_evaluate_matches_semantics(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = (a & b) | ~c
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            expected = (va and vb) or not vc
+            assert f.evaluate({"a": va, "b": vb, "c": vc}) == expected
+
+    def test_restrict(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a & b
+        assert f.restrict({"a": True}) == b
+        assert f.restrict({"a": False}).is_false()
+
+    def test_compose(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a & b
+        g = f.compose("b", b | c)
+        assert g == (a & (b | c))
+
+    def test_compose_upward_dependency(self, mgr):
+        # Substituting a function of an *earlier* variable must rebuild
+        # correctly even though order is violated locally.
+        a, b, c = mgr.declare("a", "b", "c")
+        f = b & c
+        g = f.compose("c", a)
+        assert g == (b & a)
+
+    def test_exists_forall(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a & b
+        assert f.exists(["a"]) == b
+        assert f.forall(["a"]).is_false()
+        g = a | b
+        assert g.forall(["a"]) == b
+        assert g.exists(["a", "b"]).is_true()
+
+
+class TestCounting:
+    def test_sat_count_simple(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        assert (a & b).sat_count(["a", "b", "c"]) == 2
+        assert (a | b).sat_count(["a", "b"]) == 3
+        assert mgr.true.sat_count(["a", "b", "c"]) == 8
+        assert mgr.false.sat_count(["a", "b", "c"]) == 0
+
+    def test_sat_count_skipped_levels(self, mgr):
+        a, b, c, d = mgr.declare("a", "b", "c", "d")
+        f = a & d  # skips b, c
+        assert f.sat_count(["a", "b", "c", "d"]) == 4
+
+    def test_probability_uniform(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert (a & b).probability() == pytest.approx(0.25)
+        assert (a | b).probability() == pytest.approx(0.75)
+        assert (a ^ b).probability() == pytest.approx(0.5)
+
+    def test_probability_biased(self, mgr):
+        a, b = mgr.declare("a", "b")
+        p = (a & b).probability({"a": 0.9, "b": 0.1})
+        assert p == pytest.approx(0.09)
+
+    def test_node_count(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        assert mgr.true.node_count() == 0
+        assert a.node_count() == 1
+        assert (a ^ b ^ c).node_count() == 5  # xor chain: 2 per level - 1
+
+    def test_support(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a & c
+        assert f.support() == ["a", "c"]
+
+
+class TestSatisfy:
+    def test_satisfy_one(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a & ~b
+        sol = f.satisfy_one()
+        assert sol == {"a": True, "b": False}
+        assert mgr.false.satisfy_one() is None
+
+    def test_satisfy_all(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a | b
+        sols = list(f.satisfy_all())
+        # Paths may leave variables unset; each path must satisfy f and
+        # the paths must jointly cover exactly the 3 satisfying minterms.
+        covered = 0
+        for sol in sols:
+            free = 2 - len(sol)
+            covered += 1 << free
+            full = {"a": False, "b": False}
+            full.update(sol)
+            assert full["a"] or full["b"]
+        assert covered == 3
+
+    def test_from_truth_table(self, mgr):
+        f = mgr.from_truth_table(["x0", "x1"], [1, 2])  # x0 xor x1
+        x0, x1 = mgr.var("x0"), mgr.var("x1")
+        assert f == (x0 ^ x1)
+
+    def test_cube(self, mgr):
+        f = mgr.cube({"a": True, "b": False})
+        assert f.sat_count(["a", "b"]) == 1
+        assert f.evaluate({"a": True, "b": False})
+
+
+@st.composite
+def _random_expr(draw, names=("a", "b", "c", "d")):
+    """A random Boolean expression tree as a nested tuple."""
+    depth = draw(st.integers(0, 4))
+
+    def build(d):
+        if d == 0:
+            return draw(st.sampled_from(names))
+        op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+        if op == "not":
+            return ("not", build(d - 1))
+        return (op, build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+def _eval_expr(expr, env):
+    if isinstance(expr, str):
+        return env[expr]
+    if expr[0] == "not":
+        return not _eval_expr(expr[1], env)
+    lhs = _eval_expr(expr[1], env)
+    rhs = _eval_expr(expr[2], env)
+    if expr[0] == "and":
+        return lhs and rhs
+    if expr[0] == "or":
+        return lhs or rhs
+    return lhs != rhs
+
+
+def _build_bdd(expr, mgr):
+    if isinstance(expr, str):
+        return mgr.var(expr)
+    if expr[0] == "not":
+        return ~_build_bdd(expr[1], mgr)
+    lhs = _build_bdd(expr[1], mgr)
+    rhs = _build_bdd(expr[2], mgr)
+    if expr[0] == "and":
+        return lhs & rhs
+    if expr[0] == "or":
+        return lhs | rhs
+    return lhs ^ rhs
+
+
+class TestProperties:
+    @given(_random_expr())
+    @settings(max_examples=60, deadline=None)
+    def test_bdd_agrees_with_semantics(self, expr):
+        mgr = BddManager()
+        mgr.declare("a", "b", "c", "d")
+        f = _build_bdd(expr, mgr)
+        for bits in itertools.product([False, True], repeat=4):
+            env = dict(zip(["a", "b", "c", "d"], bits))
+            assert f.evaluate(env) == _eval_expr(expr, env)
+
+    @given(_random_expr())
+    @settings(max_examples=40, deadline=None)
+    def test_sat_count_matches_enumeration(self, expr):
+        mgr = BddManager()
+        names = ["a", "b", "c", "d"]
+        mgr.declare(*names)
+        f = _build_bdd(expr, mgr)
+        expected = sum(
+            1 for bits in itertools.product([False, True], repeat=4)
+            if _eval_expr(expr, dict(zip(names, bits))))
+        assert f.sat_count(names) == expected
+        assert f.probability() == pytest.approx(expected / 16.0)
+
+    @given(_random_expr(), _random_expr())
+    @settings(max_examples=40, deadline=None)
+    def test_canonicity(self, e1, e2):
+        """Semantically equal expressions build identical BDDs."""
+        mgr = BddManager()
+        names = ["a", "b", "c", "d"]
+        mgr.declare(*names)
+        f1, f2 = _build_bdd(e1, mgr), _build_bdd(e2, mgr)
+        same = all(
+            _eval_expr(e1, dict(zip(names, bits)))
+            == _eval_expr(e2, dict(zip(names, bits)))
+            for bits in itertools.product([False, True], repeat=4))
+        assert (f1 == f2) == same
+
+
+class TestVariableOrderAblation:
+    """DESIGN.md ablation: signal probability is order-invariant,
+    node counts are not."""
+
+    def _adder_bdds(self, interleaved):
+        from repro.logic.bdd_bridge import output_bdds
+        from repro.logic.generators import ripple_carry_adder
+
+        circuit = ripple_carry_adder(4)
+        mgr = BddManager()
+        if interleaved:
+            for i in range(4):
+                mgr.declare(f"a{i}", f"b{i}")
+        else:
+            mgr.declare(*[f"a{i}" for i in range(4)])
+            mgr.declare(*[f"b{i}" for i in range(4)])
+        return mgr, output_bdds(circuit, mgr)
+
+    def test_probability_order_invariant(self):
+        _m1, grouped = self._adder_bdds(interleaved=False)
+        _m2, interleaved = self._adder_bdds(interleaved=True)
+        for net in grouped:
+            assert grouped[net].probability() == pytest.approx(
+                interleaved[net].probability())
+
+    def test_node_count_order_sensitive(self):
+        _m1, grouped = self._adder_bdds(interleaved=False)
+        _m2, interleaved = self._adder_bdds(interleaved=True)
+        total_grouped = sum(f.node_count() for f in grouped.values())
+        total_inter = sum(f.node_count() for f in interleaved.values())
+        # Interleaving a/b is the famously good order for adders.
+        assert total_inter < total_grouped

@@ -1,0 +1,162 @@
+"""Tests for BLIF I/O and the remaining circuit generators."""
+
+import io
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.blif import load_blif, read_blif, save_blif, write_blif
+from repro.logic.generators import (
+    carry_lookahead_adder,
+    constant_scaler,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+from repro.logic.netlist import Circuit
+from repro.logic.simulate import evaluate, random_vectors, simulate
+
+
+def _roundtrip(circuit):
+    buffer = io.StringIO()
+    write_blif(circuit, buffer)
+    buffer.seek(0)
+    return read_blif(buffer)
+
+
+class TestBlif:
+    def test_roundtrip_combinational_equivalence(self):
+        circuit = ripple_carry_adder(3)
+        back = _roundtrip(circuit)
+        assert back.inputs == circuit.inputs
+        assert back.outputs == circuit.outputs
+        for vec in random_vectors(circuit.inputs, 60, seed=1):
+            ref = evaluate(circuit, vec)
+            got = evaluate(back, vec)
+            assert all(got[o] == ref[o] for o in circuit.outputs)
+
+    def test_roundtrip_sequential(self):
+        from repro.logic.generators import counter
+
+        circuit = counter(3)
+        back = _roundtrip(circuit)
+        assert len(back.latches) == 3
+        vecs = [{"en": 1}] * 10
+        ref = simulate(circuit, vecs)
+        got = simulate(back, vecs)
+        for r, g in zip(ref, got):
+            for o in circuit.outputs:
+                assert r[o] == g[o]
+
+    def test_parse_names_block(self):
+        text = """
+.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+0- 1
+.end
+"""
+        circuit = read_blif(io.StringIO(text))
+        # y = ab + a'
+        for m in range(4):
+            vec = {"a": m & 1, "b": (m >> 1) & 1}
+            expected = int((vec["a"] and vec["b"]) or not vec["a"])
+            assert evaluate(circuit, vec)["y"] == expected
+
+    def test_parse_constants(self):
+        text = """
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+        circuit = read_blif(io.StringIO(text))
+        values = evaluate(circuit, {"a": 0})
+        assert values["one"] == 1
+        assert values["zero"] == 0
+
+    def test_file_io(self, tmp_path):
+        circuit = parity_tree(4)
+        path = str(tmp_path / "parity.blif")
+        save_blif(circuit, path)
+        back = load_blif(path)
+        for m in range(16):
+            vec = {f"x{i}": (m >> i) & 1 for i in range(4)}
+            assert evaluate(back, vec)["parity"] == \
+                evaluate(circuit, vec)["parity"]
+
+    def test_comments_and_continuations(self):
+        text = (".model c  # comment\n"
+                ".inputs \\\na b\n"
+                ".outputs y\n"
+                ".names a b y   # and\n"
+                "11 1\n"
+                ".end\n")
+        circuit = read_blif(io.StringIO(text))
+        assert evaluate(circuit, {"a": 1, "b": 1})["y"] == 1
+        assert evaluate(circuit, {"a": 1, "b": 0})["y"] == 0
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_random_logic(self, seed):
+        circuit = random_logic(4, 12, 2, seed=seed)
+        back = _roundtrip(circuit)
+        for m in range(16):
+            vec = {f"x{i}": (m >> i) & 1 for i in range(4)}
+            ref = evaluate(circuit, vec)
+            got = evaluate(back, vec)
+            assert all(got[o] == ref[o] for o in circuit.outputs)
+
+
+class TestCarryLookahead:
+    @pytest.mark.parametrize("width,block", [(4, 4), (6, 4), (8, 4),
+                                             (8, 2), (5, 3)])
+    def test_correct(self, width, block):
+        circuit = carry_lookahead_adder(width, block=block)
+        rng = random.Random(width * 7 + block)
+        for _ in range(40):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            vec = {f"a{i}": (a >> i) & 1 for i in range(width)}
+            vec.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+            values = evaluate(circuit, vec)
+            total = sum(values[f"s{i}"] << i for i in range(width)) \
+                + (values["cout"] << width)
+            assert total == a + b
+
+    def test_shallower_than_ripple(self):
+        cla = carry_lookahead_adder(8)
+        rca = ripple_carry_adder(8)
+        assert cla.depth() < rca.depth()
+        assert cla.gate_count() > rca.gate_count()
+
+    def test_power_tradeoff_measurable(self):
+        """CLA burns more capacitance for its speed (the classic
+        area-delay-power triangle the allocation experiments explore)."""
+        from repro.logic.simulate import collect_activity
+
+        cla = carry_lookahead_adder(8)
+        rca = ripple_carry_adder(8)
+        vectors = random_vectors(cla.inputs, 300, seed=9)
+        p_cla = collect_activity(cla, vectors).average_power()
+        p_rca = collect_activity(rca, vectors).average_power()
+        assert p_cla > p_rca
+
+
+class TestConstantScaler:
+    @given(st.integers(0, 63), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_scaler_property(self, constant, x):
+        circuit = constant_scaler(constant, 8)
+        vec = {f"a{i}": (x >> i) & 1 for i in range(8)}
+        values = evaluate(circuit, vec)
+        got = sum(values[f"p{i}"] << i for i in range(8))
+        assert got == (constant * x) & 0xFF

@@ -1,0 +1,287 @@
+"""Tests for the CDFG model, transforms, scheduling, and module library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg import (
+    Cdfg,
+    ModuleLibrary,
+    Schedule,
+    alap,
+    asap,
+    list_schedule,
+)
+from repro.cdfg.schedule import mobility
+from repro.cdfg.transforms import (
+    convert_constant_multiplications,
+    csd_digits,
+    direct_polynomial,
+    fir_filter,
+    horner_polynomial,
+    strength_reduce_constant_mult,
+)
+
+
+def _poly_value(coeffs, x, width):
+    mask = (1 << width) - 1
+    acc = 0
+    for d, c in enumerate(coeffs):
+        acc = (acc + c * pow(x, d)) & mask
+    return acc
+
+
+class TestCdfg:
+    def test_evaluate_arith(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        s = cdfg.add_op("add", a, b)
+        p = cdfg.add_op("mult", s, b)
+        cdfg.set_output("y", p)
+        assert cdfg.evaluate({"a": 3, "b": 4})["y"] == (7 * 4) & 0xFF
+
+    def test_mux_and_compare(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        gt = cdfg.add_op("cmp_gt", a, b)
+        out = cdfg.add_op("mux", b, a, gt)   # max(a, b)
+        cdfg.set_output("m", out)
+        assert cdfg.evaluate({"a": 9, "b": 4})["m"] == 9
+        assert cdfg.evaluate({"a": 2, "b": 4})["m"] == 4
+
+    def test_lshift(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        sh = cdfg.add_op("lshift", a, value=3)
+        cdfg.set_output("y", sh)
+        assert cdfg.evaluate({"a": 5})["y"] == 40
+
+    def test_operand_validation(self):
+        cdfg = Cdfg()
+        a = cdfg.add_input("a")
+        with pytest.raises(ValueError):
+            cdfg.add_op("add", a)          # wrong arity
+        with pytest.raises(ValueError):
+            cdfg.add_op("add", a, 99)      # out of range
+        with pytest.raises(ValueError):
+            cdfg.add_op("frob", a, a)      # unknown kind
+
+    def test_operation_counts_and_critical_path(self):
+        cdfg = direct_polynomial([1, 2], width=8)  # x^2 + 2x + 1
+        counts = cdfg.operation_counts()
+        assert counts["add"] == 2
+        assert cdfg.critical_path() == 3
+
+    def test_simulate_streams(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        s = cdfg.add_op("add", a, b)
+        cdfg.set_output("y", s)
+        traces = cdfg.simulate({"a": [1, 2], "b": [3, 4]})
+        assert traces[s] == [4, 6]
+
+    def test_simulate_length_mismatch(self):
+        cdfg = Cdfg()
+        cdfg.add_input("a")
+        cdfg.add_input("b")
+        with pytest.raises(ValueError):
+            cdfg.simulate({"a": [1], "b": [1, 2]})
+
+
+class TestTransforms:
+    def test_fig4_second_order(self):
+        """Fig. 4: direct (2 add, 2 mult, cp 3) vs factored
+        (2 add, 1 mult, cp 3) -- the transformation is a pure win."""
+        coeffs = [7, 3]            # x^2 + 3x + 7
+        direct = direct_polynomial(coeffs, width=12)
+        horner = horner_polynomial(coeffs, width=12)
+        dc, hc = direct.operation_counts(), horner.operation_counts()
+        assert dc["add"] == 2 and dc["mult"] == 2
+        assert hc["add"] == 2 and hc["mult"] == 1
+        assert direct.critical_path() == 3
+        assert horner.critical_path() == 3
+        for x in range(40):
+            assert direct.evaluate({"x": x}) == horner.evaluate({"x": x})
+
+    def test_fig5_third_order(self):
+        """Fig. 5: direct (3 add, 4 mult, cp 4) vs Horner (3 add, 2 mult,
+        cp 5) -- fewer operations but a longer critical path."""
+        coeffs = [7, 3, 5]         # x^3 + 5x^2 + 3x + 7
+        direct = direct_polynomial(coeffs, width=12)
+        horner = horner_polynomial(coeffs, width=12)
+        dc, hc = direct.operation_counts(), horner.operation_counts()
+        assert dc["add"] == 3 and dc["mult"] == 4
+        assert hc["add"] == 3 and hc["mult"] == 2
+        assert direct.critical_path() == 4
+        assert horner.critical_path() == 5
+        for x in range(40):
+            assert direct.evaluate({"x": x}) == horner.evaluate({"x": x})
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 5, 7, 11, 12, 100, 255])
+    def test_csd_digits_value(self, value):
+        total = sum(sign << shift for shift, sign in csd_digits(value))
+        assert total == value
+
+    @pytest.mark.parametrize("value", [3, 7, 15, 23, 47])
+    def test_csd_fewer_terms_than_binary(self, value):
+        assert len(csd_digits(value)) <= bin(value).count("1")
+
+    def test_csd_negative_rejected(self):
+        with pytest.raises(ValueError):
+            csd_digits(-3)
+
+    @pytest.mark.parametrize("const", [0, 1, 2, 3, 5, 6, 7, 10, 13])
+    def test_constant_mult_conversion_preserves_function(self, const):
+        cdfg = Cdfg(width=10)
+        x = cdfg.add_input("x")
+        c = cdfg.add_const(const)
+        p = cdfg.add_op("mult", c, x)
+        cdfg.set_output("y", p)
+        converted = convert_constant_multiplications(cdfg)
+        assert "mult" not in converted.operation_counts()
+        for x_val in range(64):
+            assert converted.evaluate({"x": x_val}) == \
+                cdfg.evaluate({"x": x_val})
+
+    def test_fir_conversion(self):
+        coeffs = [3, 5, 7, 2]
+        fir = fir_filter(coeffs, width=12)
+        converted = convert_constant_multiplications(fir)
+        assert "mult" not in converted.operation_counts()
+        inputs = {f"x{i}": (i * 13 + 1) % 64 for i in range(4)}
+        assert converted.evaluate(inputs) == fir.evaluate(inputs)
+
+    def test_strength_reduce_single_node(self):
+        cdfg = Cdfg(width=8)
+        x = cdfg.add_input("x")
+        c = cdfg.add_const(6)
+        p = cdfg.add_op("mult", c, x)
+        cdfg.set_output("y", p)
+        reduced = strength_reduce_constant_mult(cdfg, p)
+        assert "mult" not in reduced.operation_counts()
+
+    def test_strength_reduce_requires_const(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        p = cdfg.add_op("mult", a, b)
+        with pytest.raises(ValueError):
+            strength_reduce_constant_mult(cdfg, p)
+
+    @given(st.integers(0, 4095))
+    @settings(max_examples=80, deadline=None)
+    def test_csd_property(self, value):
+        digits = csd_digits(value)
+        assert sum(sign << shift for shift, sign in digits) == value
+        # CSD has no two adjacent nonzero digits.
+        shifts = sorted(shift for shift, _s in digits)
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+
+class TestScheduling:
+    def _diamond(self):
+        cdfg = Cdfg(width=8)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        m1 = cdfg.add_op("mult", a, b)
+        m2 = cdfg.add_op("mult", a, a)
+        s = cdfg.add_op("add", m1, m2)
+        cdfg.set_output("y", s)
+        return cdfg, (m1, m2, s)
+
+    def test_asap_valid_and_tight(self):
+        cdfg, (m1, m2, s) = self._diamond()
+        sched = asap(cdfg)
+        assert sched.is_valid()
+        assert sched.steps[m1] == 1 and sched.steps[m2] == 1
+        assert sched.steps[s] == 2
+        assert sched.latency == 2
+
+    def test_alap_valid(self):
+        cdfg, (m1, m2, s) = self._diamond()
+        sched = alap(cdfg, latency=4)
+        assert sched.is_valid()
+        assert sched.latency == 4
+        assert sched.steps[s] == 4
+
+    def test_alap_infeasible_latency(self):
+        cdfg, _ = self._diamond()
+        with pytest.raises(ValueError):
+            alap(cdfg, latency=1)
+
+    def test_mobility(self):
+        cdfg, (m1, m2, s) = self._diamond()
+        mob = mobility(cdfg, latency=4)
+        assert mob[s] == 2
+        assert mob[m1] == 2
+
+    def test_list_schedule_respects_resources(self):
+        cdfg, _ = self._diamond()
+        sched = list_schedule(cdfg, {"mult": 1, "add": 1})
+        assert sched.is_valid()
+        assert sched.resource_usage()["mult"] <= 1
+        assert sched.latency == 3  # serialized multipliers
+
+    def test_list_schedule_unconstrained_equals_asap(self):
+        cdfg = horner_polynomial([1, 2, 3, 4], width=8)
+        unconstrained = list_schedule(cdfg, {})
+        assert unconstrained.is_valid()
+        assert unconstrained.latency == asap(cdfg).latency
+
+    def test_multicycle_ops(self):
+        cdfg, (m1, m2, s) = self._diamond()
+        delays = {"mult": 2, "add": 1}
+        sched = asap(cdfg, delays=delays)
+        assert sched.is_valid()
+        assert sched.steps[s] == 3
+
+    def test_resource_usage_counts_busy_cycles(self):
+        cdfg, _ = self._diamond()
+        delays = {"mult": 2, "add": 1}
+        sched = list_schedule(cdfg, {"mult": 1}, delays=delays)
+        assert sched.is_valid()
+        assert sched.resource_usage()["mult"] == 1
+        assert sched.latency == 5  # 2+2 serialized mults + add
+
+    @given(st.integers(2, 6), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_list_schedule_valid_on_random_polys(self, degree, mults):
+        coeffs = list(range(1, degree + 2))
+        cdfg = direct_polynomial(coeffs, width=8)
+        sched = list_schedule(cdfg, {"mult": mults, "add": 1})
+        assert sched.is_valid()
+        usage = sched.resource_usage()
+        assert usage.get("mult", 0) <= mults
+        assert usage.get("add", 0) <= 1
+
+
+class TestModuleLibrary:
+    @pytest.fixture(scope="class")
+    def lib(self):
+        return ModuleLibrary(width=4, characterization_cycles=80)
+
+    def test_energy_scales_with_voltage(self, lib):
+        curve = lib.curve("add")
+        assert curve[0].voltage > curve[-1].voltage
+        assert curve[0].energy > curve[-1].energy
+        assert curve[0].delay < curve[-1].delay
+
+    def test_mult_costs_more_than_add(self, lib):
+        assert lib.energy("mult") > lib.energy("add")
+
+    def test_quadratic_energy_scaling(self, lib):
+        e5 = lib.energy("add", 5.0)
+        e24 = lib.energy("add", 2.4)
+        assert e5 / e24 == pytest.approx((5.0 / 2.4) ** 2, rel=1e-6)
+
+    def test_unknown_voltage(self, lib):
+        with pytest.raises(KeyError):
+            lib.point("add", 1.234)
+
+    def test_shifter_cost(self, lib):
+        assert lib.shifter_cost(5.0, 5.0) == (0.0, 0.0)
+        e, d = lib.shifter_cost(5.0, 3.3)
+        assert e > 0 and d > 0

@@ -1,0 +1,210 @@
+"""Tests for the PowerEstimator facade, the design-improvement loop,
+and FSM decomposition."""
+
+import pytest
+
+from repro import DesignImprovementLoop, EstimateResult, PowerEstimator
+from repro.cdfg.transforms import direct_polynomial, horner_polynomial
+from repro.fsm import benchmark
+from repro.fsm.decompose import (
+    evaluate_decomposition,
+    partition_states,
+    submachine,
+)
+from repro.logic.generators import parity_tree, ripple_carry_adder
+from repro.logic.simulate import random_vectors
+from repro.rtl.components import make_component
+from repro.rtl.streams import random_stream
+from repro.software import dot_product
+
+
+class TestPowerEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return PowerEstimator()
+
+    def test_gate_simulation(self, estimator):
+        circuit = ripple_carry_adder(4)
+        vectors = random_vectors(circuit.inputs, 200, seed=1)
+        result = estimator.gate(circuit, vectors)
+        assert result.power > 0
+        assert result.level == "gate"
+        assert result.cost > 0
+
+    def test_gate_event_driven_at_least_zero_delay(self, estimator):
+        from repro.logic.generators import chained_adder_tree
+
+        circuit = chained_adder_tree(3, 2)
+        vectors = random_vectors(circuit.inputs, 100, seed=2)
+        plain = estimator.gate(circuit, vectors, technique="simulation")
+        timed = estimator.gate(circuit, vectors, technique="event-driven")
+        assert timed.power >= plain.power
+
+    def test_gate_probabilistic_no_vectors_needed(self, estimator):
+        circuit = parity_tree(4)
+        result = estimator.gate(circuit, technique="probabilistic")
+        assert result.power > 0
+
+    def test_gate_unknown_technique(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.gate(parity_tree(3), technique="psychic")
+
+    def test_entropic_close_to_simulation(self, estimator):
+        circuit = ripple_carry_adder(4)
+        vectors = random_vectors(circuit.inputs, 400, seed=3)
+        sim = estimator.gate(circuit, vectors)
+        ent = estimator.entropic(circuit, vectors)
+        # High-level estimate: same order of magnitude.
+        assert 0.2 * sim.power < ent.power < 5.0 * sim.power
+
+    def test_behavioral_estimates(self, estimator):
+        cdfg = horner_polynomial([3, 5, 7], width=8)
+        quick = estimator.behavioral(cdfg, technique="quick-synthesis")
+        gates = estimator.behavioral(cdfg, technique="gate-equivalents")
+        assert quick.power > 0
+        assert gates.power > 0
+        assert quick.level == "behavioral"
+
+    def test_rtl_estimates(self, estimator):
+        component = make_component("add", 4)
+        streams = [random_stream(4, 300, seed=4),
+                   random_stream(4, 300, seed=5)]
+        census = estimator.rtl(component, streams, evaluation="census")
+        sampler = estimator.rtl(component, streams, evaluation="sampler",
+                                n_samples=2, sample_size=30)
+        assert census.power == pytest.approx(sampler.power, rel=0.3)
+        assert sampler.cost < census.cost
+
+    def test_software_estimate(self, estimator):
+        from repro.estimation.software_power import TiwariModel
+
+        model = TiwariModel.characterize(
+            opcodes=["ADD", "MUL", "ADDI", "LD", "ST"], loop_length=100)
+        result = estimator.software(dot_product(16), model=model)
+        assert result.power > 0
+        assert result.level == "software"
+
+    def test_vdd_scaling(self):
+        circuit = parity_tree(4)
+        vectors = random_vectors(circuit.inputs, 100, seed=6)
+        low = PowerEstimator(vdd=1.0).gate(circuit, vectors)
+        high = PowerEstimator(vdd=2.0).gate(circuit, vectors)
+        assert high.power == pytest.approx(4.0 * low.power)
+
+
+class TestDesignImprovementLoop:
+    def test_loop_chooses_best(self):
+        loop = DesignImprovementLoop()
+
+        designs = {"heavy": 10.0, "medium": 5.0, "light": 2.0}
+
+        def evaluator(d):
+            return EstimateResult(designs[d], "table", "test")
+
+        chosen = loop.improve(
+            "behavioral", "heavy",
+            {"to_medium": lambda d: "medium", "to_light": lambda d: "light"},
+            evaluator)
+        assert chosen == "light"
+        assert loop.history[0].chosen == "to_light"
+        assert loop.history[0].improvement == pytest.approx(0.8)
+
+    def test_original_kept_if_best(self):
+        loop = DesignImprovementLoop()
+
+        def evaluator(d):
+            return EstimateResult({"good": 1.0, "bad": 9.0}[d], "t", "l")
+
+        chosen = loop.improve("rtl", "good",
+                              {"worsen": lambda d: "bad"}, evaluator)
+        assert chosen == "good"
+        assert loop.history[0].improvement == 0.0
+
+    def test_polynomial_flow(self):
+        """Fig. 4 as a flow decision: Horner wins for degree 2."""
+        loop = DesignImprovementLoop()
+        estimator = PowerEstimator()
+
+        def evaluator(cdfg):
+            return estimator.behavioral(cdfg,
+                                        technique="gate-equivalents")
+
+        chosen = loop.improve(
+            "behavioral", direct_polynomial([7, 3], width=8),
+            {"horner": lambda d: horner_polynomial([7, 3], width=8)},
+            evaluator)
+        assert loop.history[0].chosen == "horner"
+        assert chosen.operation_counts()["mult"] == 1
+
+    def test_total_improvement_compounds(self):
+        loop = DesignImprovementLoop()
+
+        def evaluator(d):
+            return EstimateResult(d, "t", "l")
+
+        loop.improve("a", 10.0, {"halve": lambda d: d / 2}, evaluator)
+        loop.improve("b", 5.0, {"halve": lambda d: d / 2}, evaluator)
+        assert loop.total_improvement() == pytest.approx(0.75)
+
+    def test_report_readable(self):
+        loop = DesignImprovementLoop()
+
+        def evaluator(d):
+            return EstimateResult(d, "t", "l")
+
+        loop.improve("x", 4.0, {"opt": lambda d: 1.0}, evaluator)
+        text = loop.report()
+        assert "chose 'opt'" in text
+        assert "75.0% saved" in text
+
+
+class TestDecomposition:
+    def test_partition_covers_all_states(self):
+        stg = benchmark("bbsse_like")
+        decomposition = partition_states(stg)
+        assert sorted(decomposition.part_a + decomposition.part_b) \
+            == sorted(stg.states)
+        assert decomposition.part_a and decomposition.part_b
+
+    def test_crossing_probability_bounded(self):
+        stg = benchmark("arbiter")
+        decomposition = partition_states(stg)
+        assert 0.0 <= decomposition.crossing_probability <= 1.0
+
+    def test_submachine_structure(self):
+        stg = benchmark("handshake")
+        decomposition = partition_states(stg)
+        sub = submachine(stg, decomposition.part_a, "subA")
+        assert f"subA_WAIT" in sub.states
+        assert sub.n_inputs == stg.n_inputs
+        # All internal transitions preserved.
+        internal = [t for t in stg.transitions
+                    if t.src in decomposition.part_a
+                    and t.dst in decomposition.part_a]
+        kept = [t for t in sub.transitions
+                if t.src != "subA_WAIT" and t.dst != "subA_WAIT"]
+        assert len(kept) == len(internal)
+
+    def test_report_shutdown_potential(self):
+        stg = benchmark("bbsse_like")
+        report = evaluate_decomposition(stg)
+        assert 0.0 <= report.active_fraction_a <= 1.0
+        assert report.shutdown_potential <= 1.0
+        # Most cycles should not be handoffs for a sensible partition.
+        assert report.handoffs_per_cycle < 0.8
+
+
+class TestCli:
+    def test_info_and_experiments(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "bench_table1_fir.py" in out
+
+    def test_unknown_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["frobnicate"]) == 2

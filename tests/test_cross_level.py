@@ -1,0 +1,111 @@
+"""Cross-level consistency: the property the Fig. 1 loop stands on.
+
+High-level estimators may be off in absolute terms, but to drive a
+design-improvement loop they must *rank* designs the way the gate-level
+reference does.  These tests pit every estimator family against the
+reference on a graded population of circuits.
+"""
+
+import pytest
+
+from repro import PowerEstimator
+from repro.estimation.probabilistic import stratified_monte_carlo
+from repro.logic.bdd_bridge import expected_switched_capacitance
+from repro.logic.generators import (
+    carry_lookahead_adder,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+from repro.logic.simulate import collect_activity, random_vectors
+
+
+def _population():
+    """Circuits of clearly increasing switched capacitance."""
+    return [
+        parity_tree(4),
+        ripple_carry_adder(4),
+        random_logic(6, 80, 5, seed=5),
+        carry_lookahead_adder(8),
+    ]
+
+
+def _reference_ranking(circuits):
+    powers = []
+    for circuit in circuits:
+        vectors = random_vectors(circuit.inputs, 800, seed=21)
+        powers.append(collect_activity(circuit,
+                                       vectors).average_power())
+    return powers
+
+
+@pytest.fixture(scope="module")
+def graded():
+    circuits = _population()
+    reference = _reference_ranking(circuits)
+    order = sorted(range(len(circuits)), key=lambda i: reference[i])
+    return circuits, reference, order
+
+
+def _ranks(values, order):
+    return [sorted(range(len(values)),
+                   key=lambda i: values[i]).index(i) for i in order]
+
+
+class TestRankingConsistency:
+    def test_reference_population_is_graded(self, graded):
+        _c, reference, _o = graded
+        assert len(set(round(p, 3) for p in reference)) == len(reference)
+
+    def test_entropy_model_ranks_like_reference(self, graded):
+        circuits, reference, order = graded
+        estimator = PowerEstimator()
+        estimates = []
+        for circuit in circuits:
+            vectors = random_vectors(circuit.inputs, 400, seed=22)
+            estimates.append(estimator.entropic(circuit, vectors).power)
+        assert sorted(range(4), key=lambda i: estimates[i]) == order
+
+    def test_transition_density_ranks_like_reference(self, graded):
+        circuits, _reference, order = graded
+        estimator = PowerEstimator()
+        estimates = [estimator.gate(c, technique="probabilistic").power
+                     for c in circuits]
+        assert sorted(range(4), key=lambda i: estimates[i]) == order
+
+    def test_bdd_expected_capacitance_ranks(self, graded):
+        circuits, _reference, order = graded
+        estimates = [expected_switched_capacitance(c) for c in circuits]
+        assert sorted(range(4), key=lambda i: estimates[i]) == order
+
+    def test_stratified_sampling_ranks(self, graded):
+        circuits, _reference, order = graded
+        estimates = [stratified_monte_carlo(c, budget=300, seed=5).power
+                     for c in circuits]
+        assert sorted(range(4), key=lambda i: estimates[i]) == order
+
+    def test_area_proxy_ranks(self, graded):
+        """The crudest model of all (gate equivalents) still orders
+        this population — the CES model's raison d'etre."""
+        circuits, _reference, order = graded
+        estimates = [c.area() for c in circuits]
+        assert sorted(range(4), key=lambda i: estimates[i]) == order
+
+
+class TestAbsoluteAgreement:
+    """Probabilistic and sampled estimates should agree with simulation
+    not just in rank but within a small factor on each circuit."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2, 3])
+    def test_density_within_factor(self, graded, index):
+        circuits, reference, _order = graded
+        estimate = PowerEstimator().gate(
+            circuits[index], technique="probabilistic").power
+        assert 0.3 * reference[index] < estimate < 3.5 * reference[index]
+
+    @pytest.mark.parametrize("index", [0, 1, 2, 3])
+    def test_stratified_within_factor(self, graded, index):
+        circuits, reference, _order = graded
+        estimate = stratified_monte_carlo(circuits[index], budget=400,
+                                          seed=7).power
+        assert estimate == pytest.approx(reference[index], rel=0.25)

@@ -1,0 +1,191 @@
+"""Tests for datapath+controller synthesis and the closed Fig. 1 loop."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg import Cdfg, list_schedule
+from repro.cdfg.datapath import synthesize_datapath, synthesize_from_cdfg
+from repro.cdfg.transforms import fir_filter, horner_polynomial
+from repro.optimization.allocation import allocate_registers
+from repro.optimization.lp_scheduling import greedy_binding
+
+
+def _check_equivalence(cdfg, design, n_samples=15, seed=0):
+    rng = random.Random(seed)
+    names = [n.name for n in cdfg.nodes if n.kind == "input"]
+    state = None
+    for _k in range(n_samples):
+        words = {name: rng.randrange(1 << design.width)
+                 for name in names}
+        outputs, state, _energy = design.run(words, state)
+        expected = cdfg.evaluate(words)
+        for out_name in cdfg.outputs:
+            assert outputs[out_name] == expected[out_name], \
+                (words, out_name)
+
+
+class TestDatapathSynthesis:
+    def test_fir_equivalent(self):
+        cdfg = fir_filter([3, 5, 7], width=6)
+        design = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      width=6)
+        _check_equivalence(cdfg, design)
+
+    def test_horner_equivalent(self):
+        cdfg = horner_polynomial([3, 5], width=5)
+        design = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      width=5)
+        _check_equivalence(cdfg, design)
+
+    def test_shift_add_kernel(self):
+        """lshift operations become pure wiring."""
+        cdfg = Cdfg(width=6)
+        x = cdfg.add_input("x")
+        sh = cdfg.add_op("lshift", x, value=2)
+        y = cdfg.add_op("add", sh, x)      # 5x
+        cdfg.set_output("y", y)
+        design = synthesize_from_cdfg(cdfg, {"add": 1, "lshift": 1},
+                                      width=6)
+        _check_equivalence(cdfg, design)
+
+    def test_mux_and_compare(self):
+        cdfg = Cdfg(width=5)
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        gt = cdfg.add_op("cmp_gt", a, b)
+        out = cdfg.add_op("mux", b, a, gt)   # max(a, b)
+        cdfg.set_output("m", out)
+        design = synthesize_from_cdfg(cdfg, {"cmp_gt": 1, "mux": 1},
+                                      width=5)
+        _check_equivalence(cdfg, design)
+
+    def test_more_fus_shorter_latency(self):
+        cdfg = fir_filter([3, 5, 7, 9], width=6)
+        serial = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      width=6)
+        parallel = synthesize_from_cdfg(cdfg, {"mult": 4, "add": 1},
+                                        width=6)
+        assert parallel.latency < serial.latency
+        _check_equivalence(cdfg, parallel, n_samples=8)
+
+    def test_register_count_matches_allocation(self):
+        cdfg = fir_filter([3, 5, 7], width=6)
+        resources = {"mult": 1, "add": 1}
+        schedule = list_schedule(cdfg, resources)
+        binding = greedy_binding(cdfg, schedule, resources)
+        rng = random.Random(1)
+        streams = {f"x{i}": [rng.randrange(64) for _ in range(30)]
+                   for i in range(3)}
+        allocation = allocate_registers(cdfg, schedule, streams)
+        design = synthesize_datapath(cdfg, schedule, binding,
+                                     allocation.assignment, width=6)
+        data_latches = [l for l in design.circuit.latches
+                        if l.output.startswith("r")]
+        assert len(data_latches) == allocation.n_resources * 6
+
+    def test_ring_controller_one_hot(self):
+        from repro.logic.simulate import simulate
+
+        cdfg = fir_filter([3, 5], width=5)
+        design = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      width=5)
+        vec = {net: 0 for net in design.circuit.inputs}
+        trace = simulate(design.circuit, [vec] * (2 * design.latency))
+        for t, values in enumerate(trace):
+            hot = [k for k in range(1, design.latency + 1)
+                   if values[f"step{k}"]]
+            assert hot == [(t % design.latency) + 1]
+
+    def test_unsupported_kind_rejected(self):
+        cdfg = Cdfg(width=4)
+        a = cdfg.add_input("a")
+        x = cdfg.add_op("cmp_eq", a, a)
+        cdfg.set_output("y", x)
+        schedule = list_schedule(cdfg, {})
+        binding = {x: ("frobnicate", 0)}
+        with pytest.raises(ValueError):
+            synthesize_datapath(cdfg, schedule, binding, {x: 0}, width=4)
+
+
+class TestClosedLoop:
+    """The Fig. 1 promise: high-level estimates track implemented power."""
+
+    def test_quick_synthesis_tracks_gate_level(self):
+        from repro.cdfg import ModuleLibrary
+        from repro.estimation.quicksynth import quick_synthesis_estimate
+
+        cdfg = fir_filter([3, 5, 7], width=6)
+        rng = random.Random(3)
+        streams = {f"x{i}": [rng.randrange(64) for _ in range(24)]
+                   for i in range(3)}
+        design = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      input_streams=streams, width=6)
+        _outputs, measured_energy = design.evaluate_stream(streams)
+        measured_per_cycle = measured_energy / (24 * design.latency)
+        # Same supply as the measured design (V = 1).
+        library = ModuleLibrary(width=6, voltages=(1.0,),
+                                characterization_cycles=100)
+        estimate = quick_synthesis_estimate(
+            cdfg, library=library, resources={"mult": 1, "add": 1},
+            input_streams=streams)
+        # Behavioral estimate within a small factor of the implemented
+        # design's measured power (Fig. 1's requirement is correct
+        # *ranking*, not absolute accuracy).
+        assert 0.25 * measured_per_cycle < estimate.total \
+            < 4 * measured_per_cycle
+
+    def test_estimates_rank_designs_like_measurements(self):
+        """More functional units cost more measured power per cycle;
+        the behavioral estimator must rank the two designs the same
+        way it is used in the design-improvement loop."""
+        cdfg = fir_filter([3, 5, 7, 9], width=6)
+        rng = random.Random(4)
+        streams = {f"x{i}": [rng.randrange(64) for _ in range(16)]
+                   for i in range(4)}
+        serial = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      input_streams=streams, width=6)
+        parallel = synthesize_from_cdfg(cdfg, {"mult": 4, "add": 3},
+                                        input_streams=streams, width=6)
+        _o1, e_serial = serial.evaluate_stream(streams)
+        _o2, e_parallel = parallel.evaluate_stream(streams)
+        measured = {"serial": e_serial / 16, "parallel": e_parallel / 16}
+        # Time multiplexing makes the shared FU churn through
+        # different operands every step (the activity the allocation
+        # and scheduling sections fight), so the serial design costs
+        # more energy per iteration despite its smaller area.
+        assert measured["serial"] > measured["parallel"]
+
+        # The behavioral estimator must rank the designs the same way
+        # when asked for per-iteration energy.
+        from repro.cdfg import ModuleLibrary
+        from repro.estimation.quicksynth import quick_synthesis_estimate
+
+        library = ModuleLibrary(width=6, voltages=(1.0,),
+                                characterization_cycles=80)
+        est_serial = quick_synthesis_estimate(
+            cdfg, library=library, resources={"mult": 1, "add": 1},
+            input_streams=streams)
+        est_parallel = quick_synthesis_estimate(
+            cdfg, library=library, resources={"mult": 4, "add": 3},
+            input_streams=streams)
+        per_iter = {
+            "serial": est_serial.total * est_serial.latency,
+            "parallel": est_parallel.total * est_parallel.latency,
+        }
+        assert (per_iter["serial"] > per_iter["parallel"]) == \
+            (measured["serial"] > measured["parallel"])
+
+
+class TestDatapathProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=8, deadline=None)
+    def test_random_fir_equivalence(self, seed):
+        rng = random.Random(seed)
+        taps = [rng.randrange(1, 8) for _ in range(rng.randrange(2, 4))]
+        cdfg = fir_filter(taps, width=5)
+        design = synthesize_from_cdfg(cdfg, {"mult": 1, "add": 1},
+                                      width=5, seed=seed)
+        _check_equivalence(cdfg, design, n_samples=6, seed=seed)

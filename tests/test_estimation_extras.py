@@ -1,0 +1,187 @@
+"""Tests for the parametric, compaction, and clustering estimators."""
+
+import pytest
+
+from repro.estimation.clustering import ClusterModel
+from repro.estimation.compaction import (
+    compact_stream,
+    compaction_power_experiment,
+    fit_markov,
+)
+from repro.estimation.macromodel import CycleAccurateModel, \
+    characterization_streams
+from repro.estimation.parametric import (
+    Bus,
+    ClockTree,
+    MemoryArray,
+    OffChipDriver,
+    RandomLogicBlock,
+    typical_processor,
+)
+from repro.rtl.components import make_component
+from repro.rtl.streams import correlated_stream, counter_stream, \
+    random_stream
+
+
+class TestMemoryArrayModel:
+    def test_paper_formula(self):
+        """P_memcell = 0.5 V V_swing 2^k (C_int + 2^{n-k} C_tr)."""
+        from repro.estimation.parametric import CELL_DRAIN_CAP, \
+            CELL_WIRE_CAP
+
+        mem = MemoryArray(n=10, k=4, word_bits=1, vdd=1.0, v_swing=0.2)
+        rows = 1 << 6
+        expected = 0.5 * 1.0 * 0.2 * (1 << 4) * (
+            CELL_WIRE_CAP * rows + CELL_DRAIN_CAP * rows)
+        assert mem.cell_array_energy() == pytest.approx(expected)
+
+    def test_energy_grows_with_capacity(self):
+        small = MemoryArray(n=8, k=4, word_bits=8)
+        large = MemoryArray(n=12, k=6, word_bits=8)
+        assert large.read_energy() > small.read_energy()
+
+    def test_write_costs_more_than_read(self):
+        mem = MemoryArray(n=10, k=5, word_bits=8)
+        assert mem.write_energy() > mem.read_energy()
+
+    def test_aspect_ratio_tradeoff(self):
+        """Organization matters: the k-sweep has an interior optimum
+        (too few columns = long bit lines; too many = wide rows)."""
+        mem = MemoryArray(n=12, k=0, word_bits=8)
+        best_k = mem.optimal_aspect()
+        assert 0 < best_k < 12
+        worst_extreme = max(
+            MemoryArray(12, 0, 8).read_energy(),
+            MemoryArray(12, 12, 8).read_energy())
+        best = MemoryArray(12, best_k, 8).read_energy()
+        assert best < worst_extreme
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MemoryArray(n=4, k=6)
+
+    def test_vdd_scaling(self):
+        low = MemoryArray(n=10, k=5, word_bits=8, vdd=1.0)
+        high = MemoryArray(n=10, k=5, word_bits=8, vdd=2.0)
+        # Decoder/wordline terms scale as V^2.
+        assert high.row_decoder_energy() == pytest.approx(
+            4.0 * low.row_decoder_energy())
+
+
+class TestSystemComponents:
+    def test_bus_energy_scales_with_length(self):
+        short = Bus(width=32, length_mm=2.0)
+        long = Bus(width=32, length_mm=10.0)
+        assert long.energy_per_transfer() == pytest.approx(
+            5.0 * short.energy_per_transfer())
+
+    def test_offchip_dominates_onchip(self):
+        onchip = Bus(width=32, length_mm=6.0)
+        offchip = OffChipDriver(width=32)
+        assert offchip.energy_per_transfer() > \
+            4 * onchip.energy_per_transfer()
+
+    def test_clock_tree_wire_grows_with_leaves(self):
+        small = ClockTree(n_leaves=256)
+        big = ClockTree(n_leaves=4096)
+        assert big.total_wire_mm() > small.total_wire_mm()
+        assert big.energy_per_cycle() > small.energy_per_cycle()
+
+    def test_processor_breakdown(self):
+        cpu = typical_processor()
+        parts = cpu.power_breakdown()
+        assert set(parts) == {"memory", "busses", "clock", "logic",
+                              "offchip"}
+        assert all(v > 0 for v in parts.values())
+        assert cpu.total_power() == pytest.approx(sum(parts.values()))
+
+    def test_logic_activity_scales(self):
+        lazy = RandomLogicBlock(1000, activity=0.1)
+        busy = RandomLogicBlock(1000, activity=0.3)
+        assert busy.energy_per_cycle() == pytest.approx(
+            3.0 * lazy.energy_per_cycle())
+
+
+class TestCompaction:
+    def test_markov_fit_transitions_normalized(self):
+        stream = counter_stream(6, 100)
+        model = fit_markov(stream)
+        for outs in model.transitions.values():
+            assert sum(p for _n, p in outs) == pytest.approx(1.0)
+
+    def test_counter_stream_reproduced_exactly(self):
+        """A deterministic chain compacts losslessly."""
+        stream = counter_stream(5, 64)   # wraps: 2 full periods
+        short, report = compact_stream(stream, 40, seed=1)
+        # The generated stream is also a counting sequence.
+        diffs = {(b - a) % 32 for a, b in zip(short.words,
+                                              short.words[1:])}
+        assert diffs == {1}
+        assert report.activity_error < 0.05
+
+    def test_statistics_preserved_on_correlated(self):
+        stream = correlated_stream(8, 4000, rho=0.95, seed=3)
+        short, report = compact_stream(stream, 500, seed=2)
+        assert report.compaction == pytest.approx(8.0)
+        assert report.probability_error < 0.12
+        assert report.activity_error < 0.12
+
+    def test_lumping_caps_state_count(self):
+        stream = random_stream(12, 2000, seed=4)
+        model = fit_markov(stream, max_states=64)
+        assert len(model.transitions) <= 64
+
+    def test_power_preserved(self):
+        component = make_component("add", 6)
+        streams = [correlated_stream(6, 3000, rho=0.9, seed=5),
+                   correlated_stream(6, 3000, rho=0.9, seed=6)]
+        result = compaction_power_experiment(component, streams,
+                                             target_length=400, seed=7)
+        assert result["speedup"] == pytest.approx(7.5)
+        assert result["relative_error"] < 0.15
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        component = make_component("add", 4)
+        training = characterization_streams(component, runs=14,
+                                            length=80, seed=51)
+        model = ClusterModel(n_clusters=8, seed=1)
+        model.fit(component, training)
+        return component, training, model
+
+    def test_predicts_positive_power(self, setup):
+        component, _training, model = setup
+        streams = [random_stream(4, 150, seed=52),
+                   random_stream(4, 150, seed=53)]
+        assert model.predict(streams) > 0
+
+    def test_average_power_reasonable(self, setup):
+        component, _training, model = setup
+        streams = [random_stream(4, 200, seed=54),
+                   random_stream(4, 200, seed=55)]
+        assert model.error(component, streams) < 0.35
+
+    def test_weaker_than_regression_cycle_model(self, setup):
+        """The paper's criticism: few clusters -> coarse cycle power."""
+        component, training, cluster = setup
+        regression = CycleAccurateModel(max_variables=8)
+        regression.fit(component, training)
+        streams = [random_stream(4, 200, seed=56),
+                   random_stream(4, 200, seed=57)]
+        assert regression.cycle_error(component, streams) < \
+            cluster.cycle_error(component, streams)
+
+    def test_more_clusters_help(self):
+        component = make_component("add", 4)
+        training = characterization_streams(component, runs=14,
+                                            length=80, seed=58)
+        streams = [random_stream(4, 200, seed=59),
+                   random_stream(4, 200, seed=60)]
+        coarse = ClusterModel(n_clusters=2, seed=2)
+        coarse.fit(component, training)
+        fine = ClusterModel(n_clusters=16, seed=2)
+        fine.fit(component, training)
+        assert fine.cycle_error(component, streams) <= \
+            coarse.cycle_error(component, streams) + 0.05

@@ -1,0 +1,342 @@
+"""Tests for the FSM substrate: STG, KISS, Markov, encoding, synthesis."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm import (
+    STG,
+    benchmark,
+    benchmark_names,
+    binary_encoding,
+    encoding_switching_cost,
+    gray_encoding,
+    low_power_encoding,
+    minimize_states,
+    one_hot_encoding,
+    random_encoding,
+    read_kiss,
+    stationary_distribution,
+    synthesize_fsm,
+    transition_probabilities,
+    write_kiss,
+)
+from repro.fsm.kiss import random_stg
+from repro.fsm.markov import (
+    expected_state_line_switching,
+    stationary_power_iteration,
+    transition_matrix,
+)
+from repro.fsm.minimize import equivalence_classes
+from repro.fsm.synthesis import verify_fsm_netlist
+
+
+class TestSTG:
+    def test_benchmarks_load_and_are_deterministic(self):
+        for name in benchmark_names():
+            stg = benchmark(name)
+            assert stg.n_states >= 2
+            assert stg.is_deterministic(), f"{name} is nondeterministic"
+
+    def test_benchmarks_reachable(self):
+        for name in benchmark_names():
+            stg = benchmark(name)
+            assert stg.reachable_states() == set(stg.states), name
+
+    def test_step_matches_transition(self):
+        stg = benchmark("seq101")
+        nxt, out = stg.step("S2", 1)
+        assert nxt == "S1"
+        assert out == "1"
+
+    def test_unspecified_input_self_loops(self):
+        stg = STG("t", 1, 1)
+        stg.add_transition("1", "a", "b", "1")
+        nxt, out = stg.step("a", 0)
+        assert nxt == "a"
+        assert out == "-"
+
+    def test_simulate_detector(self):
+        stg = benchmark("seq101")
+        bits = [1, 0, 1, 0, 1]
+        trace = stg.simulate(bits)
+        outputs = [out for _s, out in trace]
+        # 101 appears ending at positions 2 and 4.
+        assert outputs == ["0", "0", "1", "0", "1"]
+
+    def test_completed_is_complete(self):
+        stg = STG("t", 2, 1)
+        stg.add_transition("1-", "a", "b", "1")
+        complete = stg.completed()
+        assert complete.is_complete()
+        assert not stg.is_complete()
+
+    def test_width_validation(self):
+        stg = STG("t", 2, 1)
+        with pytest.raises(ValueError):
+            stg.add_transition("1", "a", "b", "1")
+        with pytest.raises(ValueError):
+            stg.add_transition("11", "a", "b", "11")
+
+    def test_self_loop_fraction(self):
+        stg = benchmark("waiter")
+        assert 0 < stg.self_loop_fraction() < 1
+
+
+class TestKiss:
+    def test_roundtrip(self):
+        stg = benchmark("traffic")
+        buf = io.StringIO()
+        write_kiss(stg, buf)
+        buf.seek(0)
+        back = read_kiss(buf, "traffic")
+        assert back.n_states == stg.n_states
+        assert back.reset_state == stg.reset_state
+        assert len(back.transitions) == len(stg.transitions)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark("nope")
+
+    def test_random_stg_complete_deterministic(self):
+        stg = random_stg(6, 2, 2, seed=4)
+        assert stg.is_complete()
+        assert stg.is_deterministic()
+
+    def test_random_stg_self_loop_bias(self):
+        calm = random_stg(8, 2, 1, seed=1, self_loop_bias=0.9)
+        wild = random_stg(8, 2, 1, seed=1, self_loop_bias=0.0)
+        assert calm.self_loop_fraction() > wild.self_loop_fraction()
+
+
+class TestMarkov:
+    def test_transition_matrix_stochastic(self):
+        for name in benchmark_names():
+            matrix, _ = transition_matrix(benchmark(name))
+            assert matrix.shape[0] == matrix.shape[1]
+            for row in matrix:
+                assert row.sum() == pytest.approx(1.0)
+
+    def test_stationary_sums_to_one(self):
+        pi = stationary_distribution(benchmark("traffic"))
+        assert sum(pi.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pi.values())
+
+    def test_stationary_is_fixed_point(self):
+        stg = benchmark("arbiter")
+        matrix, index = transition_matrix(stg)
+        pi = stationary_distribution(stg)
+        import numpy as np
+
+        v = np.array([pi[s] for s in stg.states])
+        assert np.allclose(v @ matrix, v, atol=1e-8)
+
+    def test_power_iteration_agrees_with_exact(self):
+        for name in ["traffic", "waiter", "dk_like"]:
+            stg = benchmark(name)
+            exact = stationary_distribution(stg)
+            approx = stationary_power_iteration(stg)
+            for s in stg.states:
+                assert approx[s] == pytest.approx(exact[s], abs=1e-3)
+
+    def test_biased_inputs_shift_distribution(self):
+        stg = benchmark("waiter")
+        busy = stationary_distribution(stg, bit_probs=[0.9, 0.5])
+        idle = stationary_distribution(stg, bit_probs=[0.05, 0.5])
+        assert idle["SLEEP"] > busy["SLEEP"]
+
+    def test_transition_probs_sum_to_one(self):
+        probs = transition_probabilities(benchmark("handshake"))
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_expected_switching_zero_for_identical_codes(self):
+        stg = benchmark("traffic")
+        pi = expected_state_line_switching(
+            stg, {s: 0 for s in stg.states})
+        assert pi == 0.0
+
+
+class TestEncoding:
+    def test_binary_codes_unique(self):
+        enc = binary_encoding(benchmark("arbiter"))
+        assert len(set(enc.codes.values())) == len(enc.codes)
+
+    def test_gray_adjacent_codes(self):
+        enc = gray_encoding(benchmark("grayctr"))
+        values = [enc.codes[s] for s in benchmark("grayctr").states]
+        for a, b in zip(values, values[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_one_hot_width(self):
+        stg = benchmark("traffic")
+        enc = one_hot_encoding(stg)
+        assert enc.n_bits == stg.n_states
+        for s in stg.states:
+            assert bin(enc.codes[s]).count("1") == 1
+
+    def test_random_encoding_valid(self):
+        stg = benchmark("bbsse_like")
+        enc = random_encoding(stg, seed=3)
+        assert len(set(enc.codes.values())) == stg.n_states
+        assert max(enc.codes.values()) < (1 << enc.n_bits)
+
+    def test_random_encoding_too_narrow(self):
+        stg = benchmark("bbsse_like")  # 5 states
+        with pytest.raises(ValueError):
+            random_encoding(stg, n_bits=2)
+
+    def test_low_power_beats_average_random(self):
+        stg = benchmark("handshake")
+        lp = low_power_encoding(stg, seed=1)
+        lp_cost = encoding_switching_cost(stg, lp)
+        random_costs = [
+            encoding_switching_cost(stg, random_encoding(stg, seed=k))
+            for k in range(10)
+        ]
+        assert lp_cost <= sum(random_costs) / len(random_costs) + 1e-9
+
+    def test_greedy_vs_annealed(self):
+        stg = random_stg(8, 2, 1, seed=9)
+        greedy = low_power_encoding(stg, use_annealing=False)
+        annealed = low_power_encoding(stg, seed=2)
+        assert encoding_switching_cost(stg, annealed) <= \
+            encoding_switching_cost(stg, greedy) + 1e-9
+
+    def test_cost_nonnegative(self):
+        stg = benchmark("dk_like")
+        for enc in (binary_encoding(stg), gray_encoding(stg),
+                    one_hot_encoding(stg)):
+            assert encoding_switching_cost(stg, enc) >= 0
+
+
+class TestMinimize:
+    def test_redundant_states_merged(self):
+        stg = STG("dup", 1, 1)
+        # b and c are behaviourally identical.
+        stg.add_transition("0", "a", "b", "0")
+        stg.add_transition("1", "a", "c", "0")
+        stg.add_transition("-", "b", "a", "1")
+        stg.add_transition("-", "c", "a", "1")
+        reduced = minimize_states(stg)
+        assert reduced.n_states == 2
+
+    def test_already_minimal(self):
+        stg = benchmark("seq101")
+        reduced = minimize_states(stg)
+        assert reduced.n_states == stg.n_states
+
+    def test_equivalence_preserved(self):
+        stg = STG("dup", 1, 1)
+        stg.add_transition("0", "a", "b", "0")
+        stg.add_transition("1", "a", "c", "0")
+        stg.add_transition("-", "b", "a", "1")
+        stg.add_transition("-", "c", "a", "1")
+        reduced = minimize_states(stg)
+        rng = random.Random(0)
+        bits = [rng.randrange(2) for _ in range(50)]
+        orig = [out for _s, out in stg.completed().simulate(bits)]
+        mini = [out for _s, out in reduced.simulate(bits)]
+        assert orig == mini
+
+    def test_classes_partition_states(self):
+        stg = benchmark("arbiter")
+        classes = equivalence_classes(stg)
+        flat = [s for cls in classes for s in cls]
+        assert sorted(flat) == sorted(stg.states)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", ["seq101", "traffic", "waiter",
+                                      "grayctr"])
+    def test_netlist_matches_stg(self, name):
+        stg = benchmark(name)
+        enc = binary_encoding(stg)
+        circuit = synthesize_fsm(stg, enc)
+        rng = random.Random(42)
+        seq = [rng.randrange(1 << stg.n_inputs) for _ in range(60)]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)
+
+    def test_one_hot_netlist_matches(self):
+        stg = benchmark("seq101")
+        enc = one_hot_encoding(stg)
+        circuit = synthesize_fsm(stg, enc)
+        seq = [1, 0, 1, 1, 0, 1, 0, 0, 1]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)
+
+    def test_latch_count_matches_encoding(self):
+        stg = benchmark("traffic")
+        enc = binary_encoding(stg)
+        circuit = synthesize_fsm(stg, enc)
+        assert len(circuit.latches) == enc.n_bits
+
+    def test_different_encodings_different_power(self):
+        from repro.logic.simulate import collect_activity
+
+        stg = benchmark("handshake")
+        rng = random.Random(5)
+        seq = [rng.randrange(4) for _ in range(200)]
+
+        def power(enc):
+            circuit = synthesize_fsm(stg, enc)
+            vecs = [{f"in{i}": (m >> i) & 1 for i in range(2)} for m in seq]
+            return collect_activity(circuit, vecs).average_power()
+
+        p_binary = power(binary_encoding(stg))
+        p_onehot = power(one_hot_encoding(stg))
+        assert p_binary > 0 and p_onehot > 0
+        assert p_binary != pytest.approx(p_onehot, rel=1e-3)
+
+
+class TestProperties:
+    @given(st.integers(0, 500), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_fsm_synthesis_roundtrip(self, seed, n_states):
+        stg = random_stg(n_states, 2, 1, seed=seed)
+        enc = binary_encoding(stg)
+        circuit = synthesize_fsm(stg, enc)
+        rng = random.Random(seed)
+        seq = [rng.randrange(4) for _ in range(25)]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_minimization_never_grows(self, seed):
+        stg = random_stg(6, 1, 1, seed=seed)
+        assert minimize_states(stg).n_states <= stg.n_states
+
+
+class TestLargeMachineSynthesis:
+    """Wide encodings take the offset-driven heuristic path."""
+
+    def test_one_hot_large_machine_fast_and_correct(self):
+        from repro.fsm.kiss import random_stg
+
+        stg = random_stg(14, 1, 1, seed=3, self_loop_bias=0.4)
+        enc = one_hot_encoding(stg)       # 15 extraction variables
+        circuit = synthesize_fsm(stg, enc)
+        rng = random.Random(0)
+        seq = [rng.randrange(2) for _ in range(80)]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)
+
+    def test_binary_large_machine(self):
+        from repro.fsm.kiss import random_stg
+
+        stg = random_stg(40, 2, 2, seed=8)  # 6 state bits + 2 inputs
+        enc = binary_encoding(stg)
+        circuit = synthesize_fsm(stg, enc)
+        rng = random.Random(1)
+        seq = [rng.randrange(4) for _ in range(60)]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)
+
+    def test_wide_random_encoding(self):
+        from repro.fsm.kiss import random_stg
+
+        stg = random_stg(10, 1, 1, seed=5)
+        enc = random_encoding(stg, seed=2, n_bits=12)  # sparse codes
+        circuit = synthesize_fsm(stg, enc)
+        rng = random.Random(2)
+        seq = [rng.randrange(2) for _ in range(60)]
+        assert verify_fsm_netlist(stg, circuit, enc, seq)

@@ -1,0 +1,186 @@
+"""Tests for the heuristic minimizer and controller respecification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Circuit
+from repro.logic.simulate import collect_activity, random_vectors
+from repro.optimization.respecification import (
+    control_inputs,
+    evaluate_respecification,
+    observability_conditions,
+    respecify_controls,
+)
+from repro.twolevel.cubes import Cover, Cube
+from repro.twolevel.heuristic import (
+    complement_cubes,
+    expand_cube,
+    irredundant,
+    minimize_heuristic,
+)
+from repro.twolevel.quine_mccluskey import minimize
+
+
+class TestComplement:
+    @given(st.sets(st.integers(0, 63)))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_exact(self, onset):
+        onset = sorted(onset)
+        cubes = complement_cubes(6, onset)
+        covered = set()
+        for cube in cubes:
+            covered.update(cube.minterms())
+        assert covered == set(range(64)) - set(onset)
+
+
+class TestExpand:
+    def test_expand_against_offset(self):
+        # f = m(3) with off-set {0}: can expand to 11 -> -1 or 1-.
+        offset = [Cube.minterm(2, 0)]
+        grown = expand_cube(Cube.minterm(2, 3), offset)
+        assert grown.literals() == 1
+        assert not grown.covers_minterm(0)
+
+    def test_expand_blocked(self):
+        offset = [Cube.minterm(1, 0)]
+        cube = Cube.minterm(1, 1)
+        assert expand_cube(cube, offset) == cube
+
+
+class TestIrredundant:
+    def test_redundant_cube_removed(self):
+        cover = Cover(2, [Cube.from_string("1-"),
+                          Cube.minterm(2, 1)])   # second is contained
+        slim = irredundant(cover)
+        assert len(slim) == 1
+
+
+class TestHeuristicMinimize:
+    @given(st.sets(st.integers(0, 255)), st.sets(st.integers(0, 255)))
+    @settings(max_examples=40, deadline=None)
+    def test_correctness(self, onset, dc):
+        onset = sorted(onset)
+        dc = sorted(set(dc) - set(onset))
+        cover = minimize_heuristic(8, onset, dc)
+        allowed = set(onset) | set(dc)
+        for m in onset:
+            assert cover.evaluate(m)
+        for m in range(256):
+            if m not in allowed:
+                assert not cover.evaluate(m)
+
+    @given(st.sets(st.integers(0, 63), max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_close_to_exact(self, onset):
+        onset = sorted(onset)
+        heuristic = minimize_heuristic(6, onset)
+        exact = minimize(6, onset)
+        # Within 60% of the exact-flavour QM covering in literals.
+        assert heuristic.literal_count() <= \
+            1.6 * exact.literal_count() + 2
+
+    def test_scales_beyond_qm_comfort(self):
+        """A sparse 18-variable function minimizes quickly."""
+        rng = random.Random(3)
+        onset = sorted(rng.sample(range(1 << 18), 60))
+        cover = minimize_heuristic(18, onset)
+        for m in onset:
+            assert cover.evaluate(m)
+        assert len(cover) <= len(onset)
+
+    def test_tautology(self):
+        cover = minimize_heuristic(3, list(range(8)))
+        assert len(cover) == 1
+        assert cover.cubes[0].literals() == 0
+
+    def test_empty(self):
+        assert len(minimize_heuristic(4, [])) == 0
+
+
+def _steering_circuit():
+    """Two muxes steered by dedicated control inputs; c1 is
+    unobservable whenever c0 selects the bypass path."""
+    c = Circuit("steer")
+    xs = c.add_inputs(["x0", "x1", "x2", "x3"])
+    c0 = c.add_input("c0")
+    c1 = c.add_input("c1")
+    inner = c.add_gate("MUX2", [xs[0], xs[1], c1])   # observable iff c0=1
+    heavy = c.add_gate("XOR2", [inner, xs[2]])
+    out = c.add_gate("MUX2", [xs[3], heavy, c0], output="out")
+    c.add_output(out)
+    return c
+
+
+class TestRespecification:
+    def test_control_detection(self):
+        circuit = _steering_circuit()
+        controls = control_inputs(circuit)
+        assert set(controls) == {"c0", "c1"}
+
+    def test_observability_conditions(self):
+        circuit = _steering_circuit()
+        conditions = observability_conditions(circuit, ["c1"])
+        # c1 matters only when c0 = 1 and x0 != x1.
+        cond = conditions["c1"]
+        assert cond.restrict({"c0": False}).is_false()
+
+    def test_respecified_trace_equivalent(self):
+        circuit = _steering_circuit()
+        vectors = random_vectors(circuit.inputs, 300, seed=71)
+        report = evaluate_respecification(circuit, vectors)
+        assert report.equivalent
+        assert report.changed_cycles > 0
+
+    def test_respecification_saves_power(self):
+        circuit = _steering_circuit()
+        # Controller that toggles c1 wildly while c0 mostly bypasses.
+        rng = random.Random(72)
+        vectors = []
+        for _t in range(400):
+            vectors.append({
+                "x0": rng.randrange(2), "x1": rng.randrange(2),
+                "x2": rng.randrange(2), "x3": rng.randrange(2),
+                "c0": int(rng.random() < 0.15),
+                "c1": rng.randrange(2),
+            })
+        report = evaluate_respecification(circuit, vectors)
+        assert report.equivalent
+        assert report.saving > 0.0
+
+    def test_no_controls_no_change(self):
+        from repro.logic.generators import ripple_carry_adder
+
+        circuit = ripple_carry_adder(3)
+        vectors = random_vectors(circuit.inputs, 50, seed=73)
+        new_vectors, controls, changed = respecify_controls(
+            circuit, vectors)
+        assert controls == []
+        assert changed == 0
+        assert new_vectors == list(vectors)
+
+
+class TestMinimizeWithOffset:
+    @given(st.sets(st.integers(0, 255), min_size=1),
+           st.sets(st.integers(0, 255)))
+    @settings(max_examples=40, deadline=None)
+    def test_offset_form_correct(self, onset, offset):
+        from repro.twolevel.heuristic import minimize_with_offset
+
+        onset = sorted(onset)
+        offset = sorted(set(offset) - set(onset))
+        offset_cubes = [Cube.minterm(8, m) for m in offset]
+        cover = minimize_with_offset(8, onset, offset_cubes)
+        for m in onset:
+            assert cover.evaluate(m), "on-set minterm missed"
+        for m in offset:
+            assert not cover.evaluate(m), "off-set minterm covered"
+
+    def test_no_offset_collapses_to_tautology(self):
+        from repro.twolevel.heuristic import minimize_with_offset
+
+        cover = minimize_with_offset(4, [3, 5], [])
+        assert len(cover) == 1
+        assert cover.cubes[0].literals() == 0

@@ -1,0 +1,285 @@
+"""Tests for the gate library, netlist, and simulators."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Circuit, EventSimulator, collect_activity, simulate
+from repro.logic.gates import LIBRARY, gate_spec, wire_capacitance
+from repro.logic.simulate import evaluate, output_trace, random_vectors
+from repro.logic.generators import (
+    array_multiplier,
+    chained_adder_tree,
+    counter,
+    equality_comparator,
+    magnitude_comparator,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+    shift_register,
+)
+
+
+def _word(values, prefix, width):
+    return sum(values[f"{prefix}{i}"] << i for i in range(width))
+
+
+def _vector(prefix_values):
+    """{'a': (value, width), ...} -> flat input dict."""
+    vec = {}
+    for prefix, (value, width) in prefix_values.items():
+        for i in range(width):
+            vec[f"{prefix}{i}"] = (value >> i) & 1
+    return vec
+
+
+class TestGateLibrary:
+    def test_all_specs_evaluate(self):
+        for name, spec in LIBRARY.items():
+            for bits in itertools.product([0, 1], repeat=spec.n_inputs):
+                assert spec.evaluate(bits) in (0, 1)
+
+    def test_known_functions(self):
+        assert gate_spec("NAND2").evaluate((1, 1)) == 0
+        assert gate_spec("NAND2").evaluate((0, 1)) == 1
+        assert gate_spec("XOR3").evaluate((1, 1, 1)) == 1
+        assert gate_spec("MUX2").evaluate((0, 1, 1)) == 1
+        assert gate_spec("MUX2").evaluate((0, 1, 0)) == 0
+        assert gate_spec("AOI21").evaluate((1, 1, 0)) == 0
+        assert gate_spec("AOI21").evaluate((0, 0, 0)) == 1
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            gate_spec("FROB3")
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            gate_spec("AND2").evaluate((1, 1, 1))
+
+    def test_wire_cap_monotone(self):
+        assert wire_capacitance(0) == 0.0
+        assert wire_capacitance(4) > wire_capacitance(1) > 0
+
+
+class TestCircuitStructure:
+    def test_duplicate_driver_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_input("a")
+
+    def test_gate_arity_checked(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate("AND2", ["a"])
+
+    def test_topological_order(self):
+        c = Circuit()
+        a, b = c.add_inputs(["a", "b"])
+        n1 = c.add_gate("AND2", [a, b])
+        n2 = c.add_gate("INV", [n1])
+        order = [g.output for g in c.topological_gates()]
+        assert order.index(n1) < order.index(n2)
+
+    def test_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        # g1 depends on g2's output and vice versa.
+        c.add_gate("AND2", ["a", "n2"], output="n1")
+        c.add_gate("AND2", ["a", "n1"], output="n2")
+        with pytest.raises(ValueError):
+            c.topological_gates()
+
+    def test_depth(self):
+        c = ripple_carry_adder(4)
+        assert c.depth() >= 4  # carry chain dominates
+
+    def test_stats_and_area(self):
+        c = equality_comparator(4)
+        stats = c.stats()
+        assert stats["gates"] == c.gate_count()
+        assert stats["area"] > 0
+        assert stats["total_capacitance"] > 0
+
+    def test_clone_independent(self):
+        c = parity_tree(4)
+        d = c.clone()
+        d.add_input("extra")
+        assert "extra" not in c.inputs
+        assert [g.output for g in d.gates] == [g.output for g in c.gates]
+
+
+class TestFunctionalSimulation:
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_adder_correct(self, width):
+        circuit = ripple_carry_adder(width)
+        rng = random.Random(1)
+        for _ in range(20):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            values = evaluate(circuit, _vector({"a": (a, width),
+                                                "b": (b, width)}))
+            total = _word(values, "s", width) + (values["cout"] << width)
+            assert total == a + b
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_multiplier_correct(self, width):
+        circuit = array_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                values = evaluate(circuit, _vector({"a": (a, width),
+                                                    "b": (b, width)}))
+                assert _word(values, "p", 2 * width) == a * b
+
+    def test_equality_comparator(self):
+        circuit = equality_comparator(3)
+        for a in range(8):
+            for b in range(8):
+                values = evaluate(circuit, _vector({"a": (a, 3),
+                                                    "b": (b, 3)}))
+                assert values["eq"] == int(a == b)
+
+    def test_magnitude_comparator(self):
+        circuit = magnitude_comparator(3)
+        for a in range(8):
+            for b in range(8):
+                values = evaluate(circuit, _vector({"a": (a, 3),
+                                                    "b": (b, 3)}))
+                assert values["gt"] == int(a > b)
+
+    def test_parity(self):
+        circuit = parity_tree(5)
+        for m in range(32):
+            values = evaluate(circuit, {f"x{i}": (m >> i) & 1
+                                        for i in range(5)})
+            assert values["parity"] == bin(m).count("1") % 2
+
+    def test_counter_counts(self):
+        circuit = counter(4)
+        vectors = [{"en": 1}] * 10
+        trace = simulate(circuit, vectors)
+        for t, values in enumerate(trace):
+            assert _word(values, "q", 4) == t % 16
+
+    def test_counter_hold(self):
+        circuit = counter(4)
+        trace = simulate(circuit, [{"en": 1}, {"en": 0}, {"en": 0},
+                                   {"en": 1}])
+        assert _word(trace[-1], "q", 4) == 1
+
+    def test_shift_register(self):
+        circuit = shift_register(3)
+        bits = [1, 0, 1, 1, 0]
+        trace = simulate(circuit, [{"din": b} for b in bits])
+        assert trace[-1]["q0"] == bits[-2]
+        assert trace[-1]["q2"] == bits[-4]
+
+    def test_output_trace_shape(self):
+        circuit = parity_tree(3)
+        vecs = random_vectors(circuit.inputs, 5, seed=0)
+        outs = output_trace(circuit, vecs)
+        assert len(outs) == 5
+        assert set(outs[0]) == {"parity"}
+
+
+class TestActivityCollection:
+    def test_toggle_counting(self):
+        circuit = parity_tree(2)
+        vecs = [{"x0": 0, "x1": 0}, {"x0": 1, "x1": 0}, {"x0": 1, "x1": 1}]
+        report = collect_activity(circuit, vecs)
+        assert report.toggles["x0"] == 1
+        assert report.toggles["x1"] == 1
+        assert report.activity("x0") == pytest.approx(0.5)
+        assert report.switched_capacitance > 0
+
+    def test_probability(self):
+        circuit = parity_tree(2)
+        vecs = [{"x0": 1, "x1": 0}] * 4
+        report = collect_activity(circuit, vecs)
+        assert report.probability("x0") == 1.0
+        assert report.probability("x1") == 0.0
+
+    def test_constant_inputs_no_power(self):
+        circuit = ripple_carry_adder(4)
+        vecs = [_vector({"a": (5, 4), "b": (3, 4)})] * 10
+        report = collect_activity(circuit, vecs)
+        assert report.switched_capacitance == 0.0
+        assert report.average_power() == 0.0
+
+    def test_power_scales_with_vdd(self):
+        circuit = ripple_carry_adder(4)
+        vecs = random_vectors(circuit.inputs, 50, seed=3)
+        report = collect_activity(circuit, vecs)
+        assert report.average_power(vdd=2.0) == pytest.approx(
+            4.0 * report.average_power(vdd=1.0))
+
+    def test_sequential_clock_power(self):
+        circuit = counter(4)
+        report = collect_activity(circuit, [{"en": 0}] * 10)
+        # Even idle, the clock tree burns power.
+        assert report.average_power() > 0
+
+
+class TestEventSimulation:
+    def test_settles_to_functional_values(self):
+        circuit = ripple_carry_adder(4)
+        sim = EventSimulator(circuit)
+        rng = random.Random(7)
+        state = None
+        for _ in range(10):
+            vec = _vector({"a": (rng.randrange(16), 4),
+                           "b": (rng.randrange(16), 4)})
+            settled = sim.step(vec)
+            reference = evaluate(circuit, vec)
+            for net, value in reference.items():
+                assert settled[net] == value
+
+    def test_glitches_exceed_functional_toggles(self):
+        # A deep adder chain glitches under random stimulus.
+        circuit = chained_adder_tree(4, 3)
+        vecs = random_vectors(circuit.inputs, 60, seed=11)
+        timed = EventSimulator(circuit).run(vecs)
+        functional = collect_activity(circuit, vecs)
+        assert timed.switched_capacitance >= functional.switched_capacitance
+        # Strictly greater in practice:
+        assert timed.switched_capacitance > 1.01 * \
+            functional.switched_capacitance
+
+    def test_glitch_report_nonnegative(self):
+        circuit = chained_adder_tree(3, 2)
+        vecs = random_vectors(circuit.inputs, 30, seed=5)
+        report = EventSimulator(circuit).glitch_report(vecs)
+        assert all(v >= 0 for v in report.values())
+        assert any(v > 0 for v in report.values())
+
+    def test_sequential_event_sim(self):
+        circuit = counter(3)
+        sim = EventSimulator(circuit)
+        for t in range(1, 9):
+            settled = sim.step({"en": 1})
+            assert _word(settled, "q", 3) == (t - 1) % 8
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_logic_simulates(self, seed):
+        circuit = random_logic(5, 15, 3, seed=seed)
+        vecs = random_vectors(circuit.inputs, 5, seed=seed)
+        trace = simulate(circuit, vecs)
+        assert all(set(v) >= set(circuit.outputs) for v in trace)
+
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_event_sim_agrees_with_functional(self, width, seed):
+        circuit = random_logic(width + 2, 10, 2, seed=seed)
+        vecs = random_vectors(circuit.inputs, 8, seed=seed)
+        sim = EventSimulator(circuit)
+        for vec in vecs:
+            settled = sim.step(vec)
+            reference = evaluate(circuit, vec)
+            assert all(settled[n] == reference[n] for n in circuit.outputs)

@@ -1,0 +1,173 @@
+"""Tests for memory mapping/hierarchy, partitioned bus-invert, and
+force-directed scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg.schedule import asap, force_directed_schedule, \
+    list_schedule
+from repro.cdfg.transforms import direct_polynomial, fir_filter
+from repro.optimization.bus_encoding import (
+    BinaryCode,
+    BusInvertCode,
+    PartitionedBusInvertCode,
+    count_transitions,
+    random_addresses,
+)
+from repro.optimization.memory_map import (
+    Access,
+    ArrayProfile,
+    MemoryLevel,
+    bus_transitions,
+    explore_data_reuse,
+    loop_nest_accesses,
+    optimize_array_placement,
+)
+from repro.rtl.streams import WordStream
+
+
+class TestArrayPlacement:
+    def test_transitions_counter(self):
+        assert bus_transitions([0, 1, 3]) == 2
+        assert bus_transitions([5]) == 0
+
+    def test_placement_never_worse_than_baseline(self):
+        accesses = loop_nest_accesses({"x": 64, "y": 64},
+                                      pattern="interleaved",
+                                      iterations=128)
+        result = optimize_array_placement(accesses,
+                                          {"x": 64, "y": 64})
+        assert result.transitions <= result.baseline_transitions
+
+    def test_interleaved_arrays_benefit(self):
+        """Interleaved access to two arrays: placing them so their
+        address ranges differ in few bits cuts bus toggles (the
+        Panda-Dutt observation)."""
+        accesses = loop_nest_accesses({"a": 32, "b": 32, "c": 32},
+                                      pattern="interleaved",
+                                      iterations=200)
+        result = optimize_array_placement(
+            accesses, {"a": 32, "b": 32, "c": 32}, alignment=32)
+        assert result.saving > 0.0
+
+    def test_no_overlap(self):
+        sizes = {"a": 40, "b": 24, "c": 16}
+        accesses = loop_nest_accesses(sizes, pattern="interleaved",
+                                      iterations=60)
+        result = optimize_array_placement(accesses, sizes, alignment=16)
+        spans = []
+        for name, base in result.bases.items():
+            aligned = ((sizes[name] + 15) // 16) * 16
+            spans.append((base, base + aligned))
+        spans.sort()
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo
+
+    def test_fir_pattern_valid(self):
+        accesses = loop_nest_accesses({"x": 128, "y": 128},
+                                      pattern="fir", iterations=32)
+        assert any(a.is_write for a in accesses)
+        assert all(a.index < 128 for a in accesses)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            loop_nest_accesses({"x": 8}, pattern="zigzag")
+
+
+class TestMemoryHierarchy:
+    def _levels(self):
+        return [
+            MemoryLevel.from_parametric("buffer", words_log2=6),
+            MemoryLevel.from_parametric("sram", words_log2=10),
+            MemoryLevel.from_parametric("main", words_log2=14),
+        ]
+
+    def test_levels_ordered_by_energy(self):
+        levels = self._levels()
+        assert levels[0].read_energy < levels[1].read_energy \
+            < levels[2].read_energy
+
+    def test_hot_array_promoted(self):
+        levels = self._levels()
+        profiles = [
+            ArrayProfile("coeffs", size=16, reads=5000, writes=0),
+            ArrayProfile("samples", size=4000, reads=900, writes=300),
+        ]
+        result = explore_data_reuse(profiles, levels)
+        assert result.placement["coeffs"] == "buffer"
+        assert result.placement["samples"] == "main"
+        assert result.saving > 0.2
+
+    def test_cold_data_stays_down(self):
+        levels = self._levels()
+        profiles = [ArrayProfile("log", size=30, reads=2, writes=2)]
+        result = explore_data_reuse(profiles, levels)
+        # Copy-in cost exceeds the benefit of 4 accesses.
+        assert result.placement["log"] == "main"
+
+    def test_capacity_respected(self):
+        levels = self._levels()
+        profiles = [
+            ArrayProfile("a", size=60, reads=9000, writes=0),
+            ArrayProfile("b", size=60, reads=9000, writes=0),
+        ]
+        result = explore_data_reuse(profiles, levels)
+        # Both want the 64-word buffer; only one fits.
+        placements = list(result.placement.values())
+        assert placements.count("buffer") <= 1
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            explore_data_reuse([], [])
+
+
+class TestPartitionedBusInvert:
+    @given(st.lists(st.integers(0, 2**16 - 1), min_size=2, max_size=60),
+           st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, words, partitions):
+        code = PartitionedBusInvertCode(16, partitions=partitions)
+        count_transitions(code, WordStream(words, 16),
+                          check_decode=True)
+
+    def test_beats_single_invert_on_wide_bus(self):
+        stream = random_addresses(32, 4000, seed=31)
+        single = count_transitions(BusInvertCode(32), stream)
+        split = count_transitions(
+            PartitionedBusInvertCode(32, partitions=4), stream)
+        plain = count_transitions(BinaryCode(32), stream)
+        assert split.transitions < single.transitions < plain.transitions
+
+    def test_line_overhead(self):
+        code = PartitionedBusInvertCode(16, partitions=4)
+        assert code.total_lines == 20
+
+
+class TestForceDirected:
+    def test_valid_schedule(self):
+        cdfg = fir_filter([3, 5, 7, 9], width=8)
+        schedule = force_directed_schedule(cdfg)
+        assert schedule.is_valid()
+
+    def test_balances_resources_at_same_latency(self):
+        cdfg = direct_polynomial([3, 5, 7], width=8)
+        baseline = list_schedule(cdfg, {})
+        relaxed_latency = baseline.latency + 2
+        balanced = force_directed_schedule(cdfg,
+                                           latency=relaxed_latency)
+        assert balanced.is_valid()
+        assert balanced.latency <= relaxed_latency
+        assert balanced.resource_usage().get("mult", 0) <= \
+            baseline.resource_usage().get("mult", 0)
+
+    def test_latency_respected(self):
+        cdfg = fir_filter([3, 5, 7], width=8)
+        minimum = asap(cdfg).latency
+        schedule = force_directed_schedule(cdfg, latency=minimum)
+        assert schedule.latency <= minimum
+
+    def test_infeasible_latency(self):
+        cdfg = fir_filter([3, 5, 7], width=8)
+        with pytest.raises(ValueError):
+            force_directed_schedule(cdfg, latency=1)

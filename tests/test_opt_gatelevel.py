@@ -1,0 +1,325 @@
+"""Tests for precomputation, clock gating, guarded evaluation, retiming."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.fsm import benchmark, binary_encoding
+from repro.logic import Circuit
+from repro.logic.generators import chained_adder_tree, \
+    magnitude_comparator, ripple_carry_adder
+from repro.logic.simulate import evaluate, random_vectors, simulate
+from repro.optimization.clock_gating import (
+    build_gated_fsm,
+    evaluate_clock_gating,
+    idle_onset,
+)
+from repro.optimization.guarded_eval import (
+    apply_guarded_evaluation,
+    evaluate_guarded,
+    find_guard_candidates,
+)
+from repro.optimization.precompute import (
+    best_subset,
+    build_precomputed_circuit,
+    derive_predictors,
+    evaluate_precomputation,
+)
+from repro.optimization.retiming import (
+    choose_low_power_level,
+    circuit_to_retiming_graph,
+    evaluate_power_retiming,
+    is_legal_retiming,
+    min_period_retiming,
+    net_levels,
+    pipeline_at_level,
+    retimed_period,
+)
+
+
+class TestPrecomputation:
+    def test_predictors_sound(self):
+        """g1 => f and g0 => ~f, checked exhaustively."""
+        circuit = magnitude_comparator(3)
+        subset = ["a2", "b2"]   # MSBs decide most comparisons
+        pair = derive_predictors(circuit, "gt", subset)
+        for a in range(8):
+            for b in range(8):
+                vec = {f"a{i}": (a >> i) & 1 for i in range(3)}
+                vec.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+                f = evaluate(circuit, vec)["gt"]
+                m = sum(vec[name] << i for i, name in enumerate(subset))
+                if m in pair.g1_onset:
+                    assert f == 1
+                if m in pair.g0_onset:
+                    assert f == 0
+
+    def test_msb_subset_covers_half(self):
+        """Fig. 6's classic result: comparing the two MSBs decides the
+        comparator outcome half the time."""
+        circuit = magnitude_comparator(4)
+        pair = derive_predictors(circuit, "gt", ["a3", "b3"])
+        assert pair.coverage == pytest.approx(0.5)
+
+    def test_best_subset_finds_msbs(self):
+        circuit = magnitude_comparator(3)
+        pair = best_subset(circuit, "gt", 2)
+        assert set(pair.subset) == {"a2", "b2"}
+
+    def test_precomputed_circuit_functional(self):
+        """Precomputed architecture = original with 1-cycle latency."""
+        circuit = magnitude_comparator(3)
+        pair = derive_predictors(circuit, "gt", ["a2", "b2"])
+        pre = build_precomputed_circuit(circuit, "gt", pair)
+        vectors = random_vectors(circuit.inputs, 80, seed=1)
+        trace = simulate(pre, vectors)
+        for t in range(1, len(vectors)):
+            expected = evaluate(circuit, vectors[t - 1])["gt"]
+            assert trace[t]["f"] == expected, t
+
+    def test_precomputation_saves_power(self):
+        circuit = magnitude_comparator(6)
+        vectors = random_vectors(circuit.inputs, 300, seed=2)
+        report = evaluate_precomputation(circuit, "gt", 2, vectors)
+        assert report.coverage == pytest.approx(0.5)
+        assert report.saving > 0.05
+        assert report.precomputed_power < report.original_power
+
+    def test_wrong_output_rejected(self):
+        circuit = magnitude_comparator(3)
+        pair = derive_predictors(circuit, "gt", ["a2"])
+        bad = magnitude_comparator(3)
+        bad.outputs = ["nope"]
+        with pytest.raises(ValueError):
+            build_precomputed_circuit(bad, "gt", pair)
+
+
+class TestClockGating:
+    def test_idle_onset_matches_self_loops(self):
+        stg = benchmark("waiter")
+        enc = binary_encoding(stg)
+        onset = idle_onset(stg, enc)
+        # SLEEP self-loops on in0=0 (2 minterms), W1/W2 have none,
+        # W3 none (goes to SLEEP or W1).
+        complete = stg.completed()
+        loops = sum(1 for t in complete.transitions if t.src == t.dst)
+        assert len(onset) >= loops  # cube expansion >= transition count
+
+    def test_gated_fsm_equivalent(self):
+        stg = benchmark("waiter")
+        enc = binary_encoding(stg)
+        from repro.fsm.synthesis import synthesize_fsm, verify_fsm_netlist
+
+        gated, _fa = build_gated_fsm(stg, enc)
+        rng = random.Random(3)
+        seq = [rng.randrange(1 << stg.n_inputs) for _ in range(120)]
+        assert verify_fsm_netlist(stg, gated, enc, seq)
+
+    def test_gating_saves_on_idle_machine(self):
+        from repro.fsm import one_hot_encoding
+
+        stg = benchmark("waiter")
+        # Mostly idle stimulus: in0 rarely asserted.  One-hot state
+        # registers give the clock gate enough flops to pay for the
+        # Fa network and the filter latch.
+        report = evaluate_clock_gating(stg, encoding=one_hot_encoding(stg),
+                                       cycles=500, seed=4,
+                                       bit_probs=[0.05, 0.5])
+        assert report.idle_fraction > 0.5
+        assert report.saving > 0.0
+
+    def test_gating_unprofitable_on_tiny_register(self):
+        """With only two state flops, the gating overhead (filter
+        latch + Fa) exceeds the clock saving — the overhead tradeoff
+        the paper warns about."""
+        stg = benchmark("waiter")
+        report = evaluate_clock_gating(stg, cycles=500, seed=4,
+                                       bit_probs=[0.05, 0.5])
+        assert report.saving < 0.05
+
+    def test_gating_overhead_on_busy_machine(self):
+        stg = benchmark("waiter")
+        busy = evaluate_clock_gating(stg, cycles=400, seed=5,
+                                     bit_probs=[0.95, 0.5])
+        idle = evaluate_clock_gating(stg, cycles=400, seed=5,
+                                     bit_probs=[0.05, 0.5])
+        assert idle.saving > busy.saving
+
+    def test_simplified_fa_still_correct(self):
+        """A simplified Fa must still gate only on true idle cycles."""
+        stg = benchmark("waiter")
+        enc = binary_encoding(stg)
+        from repro.fsm.synthesis import verify_fsm_netlist
+
+        gated, _fa = build_gated_fsm(stg, enc, simplify_fraction=0.4)
+        seq = [random.Random(9).randrange(4) for _ in range(100)]
+        assert verify_fsm_netlist(stg, gated, enc, seq)
+
+    def test_simplified_fa_gates_less_often(self):
+        stg = benchmark("waiter")
+        full = evaluate_clock_gating(stg, cycles=300, seed=4,
+                                     bit_probs=[0.05, 0.5],
+                                     simplify_fraction=1.0)
+        small = evaluate_clock_gating(stg, cycles=300, seed=4,
+                                      bit_probs=[0.05, 0.5],
+                                      simplify_fraction=0.3)
+        assert small.idle_fraction <= full.idle_fraction
+
+
+class TestGuardedEvaluation:
+    def _mux_circuit(self):
+        """out = sel ? g(Y) : f(X) with a fat f-cone to guard."""
+        c = Circuit("guardme")
+        xs = c.add_inputs([f"x{i}" for i in range(4)])
+        ys = c.add_inputs([f"y{i}" for i in range(2)])
+        sel = c.add_input("sel")
+        # f cone: xor/and tree over xs.
+        t1 = c.add_gate("XOR2", [xs[0], xs[1]])
+        t2 = c.add_gate("XOR2", [xs[2], xs[3]])
+        t3 = c.add_gate("AND2", [t1, t2])
+        f_out = c.add_gate("OR2", [t3, t1])
+        g_out = c.add_gate("AND2", [ys[0], ys[1]])
+        out = c.add_gate("MUX2", [f_out, g_out, sel], output="out")
+        c.add_output(out)
+        return c
+
+    def test_candidates_found(self):
+        circuit = self._mux_circuit()
+        candidates = find_guard_candidates(circuit, min_cone=3)
+        assert candidates
+        guards = {c.guard for c in candidates}
+        assert "sel" in guards
+
+    def test_guarded_circuit_equivalent(self):
+        circuit = self._mux_circuit()
+        vectors = random_vectors(circuit.inputs, 200, seed=6)
+        report = evaluate_guarded(circuit, vectors, min_cone=3)
+        assert report is not None
+        assert report.equivalent
+
+    def test_guarding_saves_power(self):
+        circuit = self._mux_circuit()
+        vectors = random_vectors(circuit.inputs, 400, seed=7)
+        report = evaluate_guarded(circuit, vectors, min_cone=3)
+        assert report is not None
+        # Guard latches cost something; the frozen cone saves more on
+        # logic, but flop/clock overhead can eat it on tiny cones --
+        # assert the cone switching is actually suppressed instead.
+        from repro.logic.simulate import collect_activity
+
+        guarded = apply_guarded_evaluation(circuit,
+                                           report.candidate)
+        base = collect_activity(circuit, vectors)
+        after = collect_activity(guarded, vectors)
+        cone_nets = [g.output for g in circuit.gates
+                     if g.output.startswith("n")]
+        base_cone = sum(base.toggles[n] for n in base.toggles
+                        if n.startswith("n"))
+        after_cone = sum(after.toggles[n] for n in after.toggles
+                         if n.startswith("n"))
+        assert after_cone < base_cone
+
+    def test_no_candidates_in_plain_adder(self):
+        circuit = ripple_carry_adder(3)
+        candidates = find_guard_candidates(circuit, min_cone=3)
+        # Adders have no unobservable cones under any single signal.
+        assert candidates == []
+
+
+class TestLeisersonSaxe:
+    def _correlator(self):
+        """The classic Leiserson-Saxe correlator example."""
+        g = nx.DiGraph()
+        g.add_node("host", delay=0.0)
+        for name, delay in [("d1", 3.0), ("d2", 3.0), ("d3", 3.0),
+                            ("p1", 7.0), ("p2", 7.0), ("p3", 7.0),
+                            ("p0", 7.0)]:
+            g.add_node(name, delay=delay)
+        edges = [("host", "d1", 1), ("d1", "d2", 1), ("d2", "d3", 1),
+                 ("d3", "p3", 0), ("p3", "p2", 0), ("p2", "p1", 0),
+                 ("p1", "p0", 0), ("p0", "host", 0),
+                 ("d1", "p1", 0), ("d2", "p2", 0)]
+        for u, v, w in edges:
+            g.add_edge(u, v, weight=w)
+        return g
+
+    def test_initial_period(self):
+        g = self._correlator()
+        zero = {n: 0 for n in g.nodes}
+        # Zero-weight path d3 -> p3 -> p2 -> p1 -> p0: 3 + 4*7 = 31.
+        assert retimed_period(g, zero) == pytest.approx(31.0)
+
+    def test_min_period_improves(self):
+        g = self._correlator()
+        period, retiming = min_period_retiming(g)
+        assert is_legal_retiming(g, retiming)
+        base = retimed_period(g, {n: 0 for n in g.nodes})
+        assert period < base
+        assert retimed_period(g, retiming) <= period + 1e-9
+
+    def test_circuit_to_graph(self):
+        from repro.logic.generators import counter
+
+        circuit = counter(3)
+        g = circuit_to_retiming_graph(circuit)
+        assert "host" in g
+        assert g.number_of_nodes() == len(circuit.gates) + 1
+        # Sequential circuit: some edge carries a register.
+        assert any(d["weight"] > 0 for _u, _v, d in g.edges(data=True))
+
+
+class TestPowerRetiming:
+    def test_pipeline_functional_shift(self):
+        circuit = chained_adder_tree(3, 2)
+        retimed, n_regs = pipeline_at_level(circuit, 4)
+        assert n_regs > 0
+        vectors = random_vectors(circuit.inputs, 40, seed=8)
+        trace = simulate(retimed, vectors)
+        for t in range(1, len(vectors)):
+            expected = evaluate(circuit, vectors[t - 1])
+            for out in circuit.outputs:
+                assert trace[t][out] == expected[out], (t, out)
+
+    def test_levels_increase(self):
+        circuit = chained_adder_tree(3, 2)
+        level = net_levels(circuit)
+        for gate in circuit.gates:
+            for net in gate.inputs:
+                assert level[gate.output] > level.get(net, 0)
+
+    def test_low_power_level_choice_valid(self):
+        circuit = chained_adder_tree(4, 3)
+        vectors = random_vectors(circuit.inputs, 60, seed=9)
+        level = choose_low_power_level(circuit, vectors)
+        assert 1 <= level < circuit.depth()
+
+    def test_power_retiming_report(self):
+        circuit = chained_adder_tree(4, 3)
+        vectors = random_vectors(circuit.inputs, 120, seed=10)
+        report = evaluate_power_retiming(circuit, vectors)
+        assert report.depth_cut_registers > 0
+        assert report.low_power_registers > 0
+        # Glitch-aware placement at least matches the naive cut.
+        assert report.low_power_cut_power <= report.depth_cut_power * 1.02
+
+    def test_registers_kill_glitches(self):
+        """Pipelined circuit has less glitch-driven switching per
+        gate-output than the combinational one (normalized by gate
+        count)."""
+        from repro.logic.eventsim import EventSimulator
+        from repro.logic.simulate import collect_activity
+
+        circuit = chained_adder_tree(4, 3)
+        vectors = random_vectors(circuit.inputs, 100, seed=11)
+        base_timed = EventSimulator(circuit).run(vectors)
+        base_func = collect_activity(circuit, vectors)
+        base_glitch = base_timed.switched_capacitance \
+            - base_func.switched_capacitance
+
+        retimed, _n = pipeline_at_level(circuit, circuit.depth() // 2)
+        re_timed = EventSimulator(retimed).run(vectors)
+        re_func = collect_activity(retimed, vectors)
+        re_glitch = re_timed.switched_capacitance \
+            - re_func.switched_capacitance
+        assert re_glitch < base_glitch

@@ -1,0 +1,66 @@
+"""Tests for multistage pipelining and the Table I study helpers."""
+
+import pytest
+
+from repro.core.fir_study import (
+    CapacitanceBreakdown,
+    _datapath,
+    table1_experiment,
+)
+from repro.logic.generators import chained_adder_tree
+from repro.logic.simulate import evaluate, random_vectors, simulate
+from repro.optimization.retiming import pipeline_multistage
+from repro.rtl.streams import WordStream, correlated_stream
+
+
+class TestMultistagePipeline:
+    def test_two_stage_equivalence(self):
+        circuit = chained_adder_tree(3, 3)
+        piped, n_regs = pipeline_multistage(circuit, [4, 9])
+        assert n_regs > 0
+        vectors = random_vectors(circuit.inputs, 25, seed=5)
+        trace = simulate(piped, vectors)
+        for t in range(2, 25):
+            expected = evaluate(circuit, vectors[t - 2])
+            for out in circuit.outputs:
+                assert trace[t][out] == expected[out]
+
+    def test_depth_shrinks_per_stage(self):
+        circuit = chained_adder_tree(3, 3)
+        one, _n1 = pipeline_multistage(circuit, [circuit.depth() // 2])
+        two, _n2 = pipeline_multistage(
+            circuit, [circuit.depth() // 3, 2 * circuit.depth() // 3])
+        assert two.depth() <= one.depth()
+        assert one.depth() < circuit.depth()
+
+    def test_nonincreasing_thresholds_rejected(self):
+        circuit = chained_adder_tree(3, 2)
+        with pytest.raises(ValueError):
+            pipeline_multistage(circuit, [6, 6])
+
+
+class TestFirStudy:
+    def test_breakdown_rows_sum(self):
+        breakdown = CapacitanceBreakdown(10.0, 5.0, 1.0, 4.0)
+        assert breakdown.total == pytest.approx(20.0)
+        rows = breakdown.rows()
+        assert sum(pct for _n, _c, pct in rows) == pytest.approx(100.0)
+
+    def test_datapath_components_positive(self):
+        taps = (3, 5)
+        streams = [correlated_stream(8, 20 + 2, rho=0.9, seed=1)
+                   for _ in taps]
+        streams = [WordStream(s.words[:20], 8) for s in streams]
+        before = _datapath(taps, 8, streams, use_scalers=False)
+        after = _datapath(taps, 8, streams, use_scalers=True)
+        for b in (before, after):
+            assert b.execution_units > 0
+            assert b.registers_clock > 0
+            assert b.control_logic > 0
+            assert b.interconnect >= 0
+
+    def test_experiment_shape_small(self):
+        result = table1_experiment(taps=(3, 5, 7), width=6, cycles=24)
+        assert result.total_reduction > 1.0
+        assert result.execution_reduction > 1.0
+        assert result.after.control_logic > result.before.control_logic

@@ -1,0 +1,262 @@
+"""Tests for streams, RTL components, netlists, and simulation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import (
+    RtlNetlist,
+    RtlSimulator,
+    WordStream,
+    bit_activities,
+    bit_entropy,
+    bit_probabilities,
+    constant_stream,
+    correlated_stream,
+    counter_stream,
+    make_component,
+    random_stream,
+    sinusoid_stream,
+    word_entropy,
+)
+from repro.rtl.components import output_words
+from repro.rtl.streams import (
+    average_activity,
+    breakpoints,
+    lag1_correlation,
+    sign_transition_counts,
+)
+
+
+class TestStreams:
+    def test_masking(self):
+        s = WordStream([256 + 5, -1], 8)
+        assert s.words == [5, 255]
+
+    def test_random_stream_statistics(self):
+        s = random_stream(8, 3000, seed=1)
+        probs = bit_probabilities(s)
+        acts = bit_activities(s)
+        for p in probs:
+            assert p == pytest.approx(0.5, abs=0.05)
+        for a in acts:
+            assert a == pytest.approx(0.5, abs=0.05)
+
+    def test_biased_stream(self):
+        s = random_stream(8, 3000, seed=2, bit_prob=0.9)
+        probs = bit_probabilities(s)
+        assert all(p > 0.8 for p in probs)
+        # Biased bits switch less: 2 p (1-p) ~ 0.18.
+        assert average_activity(s) < 0.3
+
+    def test_correlated_stream_sign_bits_quiet(self):
+        s = correlated_stream(12, 4000, rho=0.97, seed=3)
+        acts = bit_activities(s)
+        # MSB (sign) region much quieter than LSB region.
+        assert acts[-1] < 0.5 * acts[0]
+        assert lag1_correlation(s) > 0.7
+
+    def test_uncorrelated_stream(self):
+        s = random_stream(10, 4000, seed=4)
+        assert abs(lag1_correlation(s)) < 0.1
+
+    def test_sinusoid_range(self):
+        s = sinusoid_stream(8, 200, period=50)
+        half = 1 << 7
+        signed = [w - ((w & half) << 1) for w in s.words]
+        assert max(signed) <= 127 and min(signed) >= -128
+        assert max(signed) > 100  # amplitude used
+
+    def test_constant_stream_zero_activity(self):
+        s = constant_stream(8, 100, value=37)
+        assert average_activity(s) == 0.0
+        assert word_entropy(s) == 0.0
+
+    def test_counter_stream_lsb_hottest(self):
+        s = counter_stream(8, 512)
+        acts = bit_activities(s)
+        assert acts[0] == pytest.approx(1.0)
+        assert acts[1] == pytest.approx(0.5, abs=0.01)
+        assert acts[7] < 0.01
+
+    def test_entropy_bounds(self):
+        s = random_stream(6, 4000, seed=5)
+        assert bit_entropy(s) == pytest.approx(1.0, abs=0.01)
+        assert word_entropy(s) <= 6.0 + 1e-9
+        assert word_entropy(s) > 5.5
+
+    def test_sign_transitions(self):
+        s = WordStream([0, 0x80, 0x80, 0], 8)
+        counts = sign_transition_counts(s)
+        assert counts == {"++": 0, "+-": 1, "--": 1, "-+": 1}
+
+    def test_breakpoints_random_vs_correlated(self):
+        noisy = random_stream(12, 3000, seed=6)
+        corr = correlated_stream(12, 3000, rho=0.98, seed=6)
+        assert breakpoints(noisy) >= 11  # nearly everything random
+        assert breakpoints(corr) < breakpoints(noisy)
+
+
+class TestComponents:
+    @pytest.mark.parametrize("kind,width,ops,expected", [
+        ("add", 4, (7, 9), 16),
+        ("add", 4, (15, 15), 30),
+        ("sub", 4, (9, 7), 2),
+        ("sub", 4, (3, 5), 14),   # wraps mod 16
+        ("mult", 3, (5, 6), 30),
+        ("mux", 4, (3, 12, 0), 3),
+        ("mux", 4, (3, 12, 1), 12),
+        ("reg", 4, (11,), 11),
+        ("cmp_eq", 4, (9, 9), 1),
+        ("cmp_eq", 4, (9, 8), 0),
+        ("cmp_gt", 4, (9, 8), 1),
+        ("cmp_gt", 4, (8, 9), 0),
+    ])
+    def test_functional_models(self, kind, width, ops, expected):
+        comp = make_component(kind, width)
+        assert comp.evaluate(ops) == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_component("div", 4)
+
+    @pytest.mark.parametrize("kind", ["add", "sub", "mult", "mux",
+                                      "cmp_eq", "cmp_gt"])
+    def test_gate_netlist_matches_function(self, kind):
+        width = 3
+        comp = make_component(kind, width)
+        from repro.logic.simulate import evaluate
+
+        import itertools
+        n_ops = len(comp.input_ports)
+        spaces = [range(1 << w) for _p, w in comp.input_ports]
+        for operands in itertools.islice(itertools.product(*spaces), 80):
+            values = evaluate(comp.circuit, comp.input_vector(operands))
+            got = comp.read_output(values)
+            mask = (1 << len(comp.output_nets)) - 1
+            assert got == comp.evaluate(operands) & mask, (kind, operands)
+
+    def test_reference_power_positive(self):
+        comp = make_component("add", 4)
+        streams = [random_stream(4, 100, seed=i) for i in range(2)]
+        assert comp.reference_power(streams) > 0
+
+    def test_constant_operand_lowers_power(self):
+        comp = make_component("mult", 4)
+        noisy = [random_stream(4, 300, seed=1), random_stream(4, 300, seed=2)]
+        quiet = [random_stream(4, 300, seed=1), constant_stream(4, 300, 1)]
+        assert comp.reference_power(quiet) < comp.reference_power(noisy)
+
+    def test_cycle_energies_length(self):
+        comp = make_component("add", 4)
+        streams = [random_stream(4, 50, seed=3), random_stream(4, 50, seed=4)]
+        energies = comp.cycle_energies(streams)
+        assert len(energies) == 49
+        assert all(e >= 0 for e in energies)
+        report = comp.reference_activity(streams)
+        assert sum(energies) == pytest.approx(
+            0.5 * report.switched_capacitance)
+
+    def test_output_words(self):
+        comp = make_component("add", 4)
+        a = WordStream([1, 2, 3], 4)
+        b = WordStream([4, 5, 6], 4)
+        out = output_words(comp, [a, b])
+        assert out.words == [5, 7, 9]
+        assert out.width == 5
+
+
+class TestRtlNetlist:
+    def _fir2(self):
+        """y[t] = c0*x[t] + c1*x[t-1], a 2-tap FIR."""
+        net = RtlNetlist("fir2")
+        net.add_input("x", 4)
+        net.add_constant("c0", 3, 4)
+        net.add_constant("c1", 2, 4)
+        net.add_instance("reg", 4, ["x"], output_signal="xd")
+        net.add_instance("mult", 4, ["x", "c0"], output_signal="p0")
+        net.add_instance("mult", 4, ["xd", "c1"], output_signal="p1")
+        net.add_instance("add", 8, ["p0", "p1"], output_signal="y")
+        net.add_output("y")
+        return net
+
+    def test_simulation_correct(self):
+        net = self._fir2()
+        sim = RtlSimulator(net)
+        xs = [1, 2, 3, 4, 5]
+        trace = sim.run({"x": WordStream(xs, 4)})
+        expected = [3 * x + 2 * (xs[t - 1] if t else 0)
+                    for t, x in enumerate(xs)]
+        assert trace.signal_values["y"] == expected
+
+    def test_cycle_detection(self):
+        net = RtlNetlist()
+        net.add_input("x", 4)
+        net.add_instance("add", 4, ["x", "b"], output_signal="a")
+        net.add_instance("add", 4, ["x", "a"], output_signal="b")
+        with pytest.raises(ValueError):
+            RtlSimulator(net)
+
+    def test_register_breaks_cycle(self):
+        # Accumulator: acc <- acc + x.
+        net = RtlNetlist("acc")
+        net.add_input("x", 4)
+        net.add_instance("add", 4, ["x", "acc"], output_signal="sum")
+        net.add_instance("reg", 5, ["sum"], output_signal="acc")
+        net.add_output("acc")
+        sim = RtlSimulator(net)
+        trace = sim.run({"x": WordStream([1, 1, 1, 1], 4)})
+        assert trace.signal_values["acc"] == [0, 1, 2, 3]
+
+    def test_operand_streams_recorded(self):
+        net = self._fir2()
+        sim = RtlSimulator(net)
+        trace = sim.run({"x": WordStream([1, 2, 3], 4)})
+        inst = net.instances[1]  # mult x*c0
+        streams = trace.operand_streams(inst)
+        assert streams[0].words == [1, 2, 3]
+        assert streams[1].words == [3, 3, 3]
+
+    def test_gate_level_power_per_instance(self):
+        net = self._fir2()
+        sim = RtlSimulator(net)
+        trace = sim.run({"x": random_stream(4, 80, seed=9)})
+        power = sim.gate_level_power(trace)
+        assert set(power) == {i.name for i in net.instances}
+        assert all(p >= 0 for p in power.values())
+        # Multipliers dominate adders of comparable width.
+        assert power["u1_mult4"] > power["u3_add8"] * 0.3
+
+    def test_missing_stimulus(self):
+        net = self._fir2()
+        with pytest.raises(ValueError):
+            RtlSimulator(net).run({})
+
+    def test_duplicate_signal(self):
+        net = RtlNetlist()
+        net.add_input("x", 4)
+        with pytest.raises(ValueError):
+            net.add_constant("x", 0, 4)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_activity_bounded(self, words):
+        s = WordStream(words, 4)
+        for a in bit_activities(s):
+            assert 0.0 <= a <= 1.0
+        assert 0.0 <= bit_entropy(s) <= 1.0
+        assert word_entropy(s) <= 4.0 + 1e-9
+
+    @given(st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_adder_component_always_correct(self, width, seed):
+        comp = make_component("add", width)
+        import random as _r
+
+        rng = _r.Random(seed)
+        a, b = rng.randrange(1 << width), rng.randrange(1 << width)
+        assert comp.evaluate((a, b)) == a + b

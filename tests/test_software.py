@@ -1,0 +1,210 @@
+"""Tests for the ISA, machine, and program kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.software import (
+    Instruction,
+    Machine,
+    dot_product,
+    encode,
+    fir_program,
+    memory_optimized,
+    memory_unoptimized,
+    random_program,
+)
+from repro.software.isa import OPCODES, hamming32
+from repro.software.machine import _sext
+
+I = Instruction
+
+
+class TestIsa:
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instruction("FROB")
+
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            Instruction("ADD", rd=16)
+
+    def test_encodings_distinct(self):
+        words = {encode(I(op)) for op in OPCODES}
+        assert len(words) == len(OPCODES)
+
+    def test_encoding_fields(self):
+        word = encode(I("ADDI", rd=3, rs=5, imm=9))
+        assert word & 0x1FFF == 9
+        assert (word >> 21) & 0xF == 3
+
+    def test_hamming(self):
+        assert hamming32(0, 0b1011) == 3
+        assert hamming32(0xFFFFFFFF, 0) == 32
+
+    def test_sext(self):
+        assert _sext(0x0005) == 5
+        assert _sext(0x1FFF) == -1
+        assert _sext(0x1000) == -4096
+
+
+class TestMachine:
+    def test_arithmetic(self):
+        m = Machine()
+        stats = m.run([
+            I("ADDI", rd=1, rs=0, imm=6),
+            I("ADDI", rd=2, rs=0, imm=7),
+            I("MUL", rd=3, rs=1, rt=2),
+            I("HALT"),
+        ])
+        assert m.registers[3] == 42
+        assert stats.halted
+
+    def test_r0_hardwired(self):
+        m = Machine()
+        m.run([I("ADDI", rd=0, rs=0, imm=9), I("HALT")])
+        assert m.registers[0] == 0
+
+    def test_load_store(self):
+        m = Machine()
+        m.load_memory(100, [11, 22])
+        m.run([
+            I("LD", rd=1, rs=0, imm=100),
+            I("LD", rd=2, rs=0, imm=101),
+            I("ADD", rd=3, rs=1, rt=2),
+            I("ST", rd=3, rs=0, imm=102),
+            I("HALT"),
+        ])
+        assert m.memory[102] == 33
+
+    def test_branch_loop(self):
+        m = Machine()
+        # sum 1..5 in r1
+        stats = m.run([
+            I("ADDI", rd=1, rs=0, imm=0),
+            I("ADDI", rd=2, rs=0, imm=0),
+            I("ADDI", rd=3, rs=0, imm=5),
+            I("ADDI", rd=2, rs=2, imm=1),       # pc=3
+            I("ADD", rd=1, rs=1, rt=2),
+            I("BNE", rd=2, rs=3, imm=3),
+            I("HALT"),
+        ])
+        assert m.registers[1] == 15
+        assert stats.halted
+
+    def test_dot_product_correct(self):
+        m = Machine()
+        a = [1, 2, 3, 4]
+        b = [5, 6, 7, 8]
+        m.load_memory(0, a)
+        m.load_memory(1024, b)
+        m.run(dot_product(4))
+        assert m.registers[1] == sum(x * y for x, y in zip(a, b))
+
+    def test_fir_program_correct(self):
+        m = Machine()
+        xs = list(range(1, 11))
+        taps = [2, 3]
+        m.load_memory(0, xs)
+        m.load_memory(3000, taps)
+        m.run(fir_program(taps, 6))
+        for i in range(6):
+            assert m.memory[2048 + i] == 2 * xs[i] + 3 * xs[i + 1]
+
+    def test_energy_components_positive(self):
+        m = Machine()
+        stats = m.run(dot_product(16))
+        assert stats.energy > 0
+        assert stats.cycles >= stats.instructions
+        assert stats.cache_accesses > 0
+        assert stats.bus_toggles > 0
+
+    def test_cache_miss_behaviour(self):
+        # Sequential access: 1 miss per line of 4 words.
+        m = Machine(cache_lines=16, cache_line_words=4)
+        program = []
+        for i in range(32):
+            program.append(I("LD", rd=1, rs=0, imm=i))
+        program.append(I("HALT"))
+        stats = m.run(program)
+        assert stats.cache_misses == 8
+        assert stats.cache_accesses == 32
+
+    def test_load_use_stall(self):
+        m = Machine()
+        with_stall = m.run([
+            I("LD", rd=1, rs=0, imm=0),
+            I("ADD", rd=2, rs=1, rt=1),
+            I("HALT"),
+        ])
+        m2 = Machine()
+        without = m2.run([
+            I("LD", rd=1, rs=0, imm=0),
+            I("NOP"),
+            I("ADD", rd=2, rs=1, rt=1),
+            I("HALT"),
+        ])
+        assert with_stall.stalls == 1
+        assert without.stalls == 0
+
+    def test_mul_class_costs_more(self):
+        muls = [I("MUL", rd=1, rs=2, rt=3)] * 50 + [I("HALT")]
+        adds = [I("ADD", rd=1, rs=2, rt=3)] * 50 + [I("HALT")]
+        e_mul = Machine().run(muls).energy
+        e_add = Machine().run(adds).energy
+        assert e_mul > e_add
+
+    def test_profile_fields(self):
+        stats = Machine().run(dot_product(8))
+        mix = stats.instruction_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert 0 <= stats.miss_rate <= 1
+        assert 0 <= stats.stall_rate <= 1
+
+    def test_max_instructions_guard(self):
+        # Infinite loop terminates at the fuel limit.
+        stats = Machine().run([I("JMP", imm=0)], max_instructions=100)
+        assert stats.instructions == 100
+        assert not stats.halted
+
+
+class TestFig2Memory:
+    def test_same_result(self):
+        n = 32
+        data = [i * 3 % 17 for i in range(n)]
+        m1 = Machine()
+        m1.load_memory(0, data)
+        m1.run(memory_unoptimized(n))
+        m2 = Machine()
+        m2.load_memory(0, data)
+        m2.run(memory_optimized(n))
+        assert m1.memory[2048:2048 + n] == m2.memory[2048:2048 + n]
+
+    def test_optimized_halves_memory_traffic(self):
+        n = 64
+        m1 = Machine()
+        s1 = m1.run(memory_unoptimized(n))
+        m2 = Machine()
+        s2 = m2.run(memory_optimized(n))
+        # Unoptimized: 3n accesses (+2n for b); optimized: 2n.
+        assert s1.cache_accesses == 4 * n
+        assert s2.cache_accesses == 2 * n
+        assert s2.energy < s1.energy
+
+
+class TestRandomPrograms:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_program_runs_to_halt(self, seed):
+        program = random_program(100, seed=seed)
+        stats = Machine().run(program)
+        assert stats.halted
+        assert stats.instructions == 101
+
+    def test_mix_is_respected(self):
+        mix = {"alu": 0.8, "mem": 0.2}
+        program = random_program(2000, mix=mix, seed=1)
+        stats = Machine().run(program)
+        got = stats.instruction_mix()
+        assert got.get("alu", 0) == pytest.approx(0.8, abs=0.05)
+        assert got.get("mem", 0) == pytest.approx(0.2, abs=0.05)

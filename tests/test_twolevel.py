@@ -1,0 +1,187 @@
+"""Tests for cubes, covers, and Quine-McCluskey minimization."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twolevel import (
+    Cover,
+    Cube,
+    essential_primes,
+    minimize,
+    prime_implicants,
+)
+
+
+class TestCube:
+    def test_from_to_string(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_string() == "1-0"
+        assert cube.literals() == 2
+        assert cube.size() == 2
+
+    def test_minterm(self):
+        cube = Cube.minterm(3, 5)
+        assert cube.to_string() == "101"
+        assert list(cube.minterms()) == [5]
+
+    def test_contains(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_covers_minterm(self):
+        cube = Cube.from_string("-1-")
+        assert cube.covers_minterm(0b010)
+        assert cube.covers_minterm(0b111)
+        assert not cube.covers_minterm(0b101)
+
+    def test_merge_adjacent(self):
+        a = Cube.minterm(3, 0b000)
+        b = Cube.minterm(3, 0b001)
+        merged = a.merge(b)
+        assert merged is not None
+        assert merged.to_string() == "-00"
+
+    def test_merge_nonadjacent(self):
+        a = Cube.minterm(3, 0b000)
+        b = Cube.minterm(3, 0b011)
+        assert a.merge(b) is None
+
+    def test_merge_different_masks(self):
+        a = Cube.from_string("0-0")
+        b = Cube.from_string("00-")
+        assert a.merge(b) is None
+
+    def test_intersection(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        both = a.intersection(b)
+        assert both is not None and both.to_string() == "10-"
+        c = Cube.from_string("0--")
+        assert a.intersection(c) is None
+
+    def test_minterm_enumeration(self):
+        cube = Cube.from_string("-0-")
+        assert sorted(cube.minterms()) == [0, 1, 4, 5]  # bit1 must be 0
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            Cube(2, 0b01, 0b10)
+
+
+class TestCover:
+    def test_evaluate(self):
+        cover = Cover(2, [Cube.from_string("1-"), Cube.from_string("-1")])
+        assert cover.evaluate(0b01)
+        assert cover.evaluate(0b10)
+        assert not cover.evaluate(0b00)
+
+    def test_minterms(self):
+        cover = Cover.from_minterms(2, [0, 3])
+        assert cover.minterms() == [0, 3]
+
+    def test_width_mismatch(self):
+        cover = Cover(2)
+        with pytest.raises(ValueError):
+            cover.add(Cube.from_string("111"))
+
+
+class TestQuineMcCluskey:
+    def test_primes_xor(self):
+        # XOR has no merging: primes are the minterms themselves.
+        primes = prime_implicants(2, [1, 2])
+        assert sorted(p.to_string() for p in primes) == ["01", "10"]
+
+    def test_primes_and(self):
+        primes = prime_implicants(2, [3])
+        assert [p.to_string() for p in primes] == ["11"]
+
+    def test_primes_with_dc(self):
+        # f = m(1), dc = m(3): prime should grow to x0=1.
+        primes = prime_implicants(2, [1], dc=[3])
+        assert any(p.to_string() == "1-" for p in primes)
+
+    def test_essential_primes_majority(self):
+        # maj(a,b,c): every prime (ab, ac, bc) is essential.
+        onset = [3, 5, 6, 7]
+        essentials = essential_primes(3, onset)
+        assert len(essentials) == 3
+
+    def test_minimize_covers_exactly(self):
+        onset = [0, 1, 2, 5, 6, 7]
+        cover = minimize(3, onset)
+        for m in range(8):
+            assert cover.evaluate(m) == (m in onset)
+
+    def test_minimize_tautology(self):
+        cover = minimize(2, [0, 1, 2, 3])
+        assert len(cover) == 1
+        assert cover.cubes[0].literals() == 0
+
+    def test_minimize_empty(self):
+        cover = minimize(3, [])
+        assert len(cover) == 0
+
+    def test_minimize_with_dc_smaller(self):
+        # dc lets the cover collapse to a single cube.
+        with_dc = minimize(3, [1, 3], dc=[5, 7])
+        without = minimize(3, [1, 3])
+        assert with_dc.literal_count() <= without.literal_count()
+        # With dc {5,7} usable, f can be just x0.
+        assert with_dc.literal_count() == 1
+
+    def test_classic_example(self):
+        # Standard 4-var QM example: f = sum m(4,8,10,11,12,15) dc(9,14).
+        onset = [4, 8, 10, 11, 12, 15]
+        dc = [9, 14]
+        cover = minimize(4, onset, dc)
+        for m in range(16):
+            if m in onset:
+                assert cover.evaluate(m)
+            elif m not in dc:
+                assert not cover.evaluate(m)
+        assert len(cover) <= 4
+
+
+class TestProperties:
+    @given(st.sets(st.integers(0, 15)), st.sets(st.integers(0, 15)))
+    @settings(max_examples=60, deadline=None)
+    def test_minimize_correct_and_prime(self, onset, dc):
+        onset = sorted(onset)
+        dc = sorted(set(dc) - set(onset))
+        cover = minimize(4, onset, dc)
+        allowed = set(onset) | set(dc)
+        for m in range(16):
+            if m in onset:
+                assert cover.evaluate(m), "on-set minterm missed"
+            elif m not in allowed:
+                assert not cover.evaluate(m), "off-set minterm covered"
+
+    @given(st.sets(st.integers(0, 15), min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_primes_are_maximal(self, onset):
+        onset = sorted(onset)
+        primes = prime_implicants(4, onset)
+        onset_set = set(onset)
+        for p in primes:
+            # Every covered minterm is in the on-set.
+            assert all(m in onset_set for m in p.minterms())
+            # Dropping any literal would cover an off-set minterm.
+            for i in range(4):
+                if not (p.care >> i) & 1:
+                    continue
+                bigger = Cube(4, p.care & ~(1 << i), p.value & ~(1 << i))
+                assert any(m not in onset_set for m in bigger.minterms()), \
+                    f"prime {p.to_string()} is not maximal"
+
+    @given(st.sets(st.integers(0, 15)))
+    @settings(max_examples=40, deadline=None)
+    def test_essentials_subset_of_primes(self, onset):
+        onset = sorted(onset)
+        primes = set(prime_implicants(4, onset))
+        for e in essential_primes(4, onset):
+            assert e in primes
