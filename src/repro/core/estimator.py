@@ -43,9 +43,13 @@ class EstimateResult:
 class PowerEstimator:
     """Facade over the estimation techniques of Section II."""
 
-    def __init__(self, vdd: float = 1.0, freq: float = 1.0) -> None:
+    def __init__(self, vdd: float = 1.0, freq: float = 1.0,
+                 engine: str = "fast") -> None:
         self.vdd = vdd
         self.freq = freq
+        #: Gate-level simulation engine: "fast" (bit-parallel
+        #: compiled, exactly equivalent) or "reference" (scalar).
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Software level (Section II-A)
@@ -127,15 +131,18 @@ class PowerEstimator:
     # ------------------------------------------------------------------
     def gate(self, circuit: Circuit,
              vectors: Optional[Sequence[Vector]] = None,
-             technique: str = "simulation") -> EstimateResult:
+             technique: str = "simulation",
+             engine: Optional[str] = None) -> EstimateResult:
         if technique == "simulation":
             if vectors is None:
                 raise ValueError("simulation needs stimulus vectors")
             from repro.logic.simulate import collect_activity
 
-            power = collect_activity(circuit, vectors).average_power(
-                vdd=self.vdd, freq=self.freq)
-            return EstimateResult(power, technique, "gate",
+            engine = engine or self.engine
+            power = collect_activity(
+                circuit, vectors, engine=engine,
+            ).average_power(vdd=self.vdd, freq=self.freq)
+            return EstimateResult(power, f"{technique}/{engine}", "gate",
                                   cost=len(vectors) * circuit.gate_count())
         if technique == "event-driven":
             if vectors is None:

@@ -24,9 +24,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bdd import BddManager
+from repro.logic import fastsim
 from repro.logic.bdd_bridge import net_bdds
 from repro.logic.netlist import Circuit
 from repro.logic.simulate import collect_activity, random_vectors
@@ -47,13 +48,17 @@ def monte_carlo_power(circuit: Circuit, batch_size: int = 64,
                       ) -> MonteCarloResult:
     """Batched Monte Carlo average-power estimation with a stopping
     criterion:  stop when  z * s / (sqrt(k) * mean) < precision.
+
+    Stimulus is generated directly as packed bignum lanes
+    (:func:`repro.logic.fastsim.random_packed_vectors`), skipping the
+    per-vector dict construction the scalar flow pays for.
     """
     rng = random.Random(seed)
     means: List[float] = []
     used = 0
     for k in range(1, max_batches + 1):
-        vectors = random_vectors(circuit.inputs, batch_size,
-                                 seed=rng.randrange(1 << 30))
+        vectors = fastsim.random_packed_vectors(
+            circuit.inputs, batch_size, seed=rng.randrange(1 << 30))
         report = collect_activity(circuit, vectors)
         means.append(report.average_power())
         used += batch_size
@@ -137,9 +142,7 @@ def stratified_monte_carlo(circuit: Circuit, budget: int = 512,
 
     rng = random.Random(seed)
     n = len(circuit.inputs)
-    fanout = circuit.fanout_map()
-    caps = {net: circuit.load_capacitance(net, fanout)
-            for net in circuit.nets}
+    caps = circuit.load_capacitances()
 
     # Strata: Hamming-distance bands with binomial weights.
     bounds = [round(k * n / n_strata) for k in range(n_strata + 1)]
@@ -151,9 +154,7 @@ def stratified_monte_carlo(circuit: Circuit, budget: int = 512,
         weights[-1] += _math.comb(n, n) / (1 << n) \
             if bounds[-1] == n else 0.0
 
-    from repro.logic.simulate import evaluate
-
-    def cycle_energy(distance_band: int) -> float:
+    def draw_pair(distance_band: int) -> Tuple[int, int]:
         lo, hi = bounds[distance_band], bounds[distance_band + 1]
         hi_inclusive = n if distance_band == n_strata - 1 else hi - 1
         hi_inclusive = max(lo, hi_inclusive)
@@ -165,20 +166,46 @@ def stratified_monte_carlo(circuit: Circuit, budget: int = 512,
         second = first
         for pos in flip_positions:
             second ^= 1 << pos
-        v1 = {name: (first >> i) & 1
-              for i, name in enumerate(circuit.inputs)}
-        v2 = {name: (second >> i) & 1
-              for i, name in enumerate(circuit.inputs)}
-        a = evaluate(circuit, v1)
-        b = evaluate(circuit, v2)
-        return 0.5 * sum(caps[net] for net in caps
-                         if a[net] != b[net])
+        return first, second
+
+    def stratum_energies(pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Per-pair switched energy, all pairs evaluated bit-parallel.
+
+        Lane j of the packed batch carries pair j; the two endpoint
+        batches need one compiled pass each instead of 2*len(pairs)
+        scalar evaluations.
+        """
+        lanes = len(pairs)
+        words_a = {name: 0 for name in circuit.inputs}
+        words_b = {name: 0 for name in circuit.inputs}
+        for j, (first, second) in enumerate(pairs):
+            bit = 1 << j
+            for i, name in enumerate(circuit.inputs):
+                if (first >> i) & 1:
+                    words_a[name] |= bit
+                if (second >> i) & 1:
+                    words_b[name] |= bit
+        a = fastsim.evaluate_packed(
+            circuit, fastsim.PackedVectors(list(circuit.inputs), lanes,
+                                           words_a))
+        b = fastsim.evaluate_packed(
+            circuit, fastsim.PackedVectors(list(circuit.inputs), lanes,
+                                           words_b))
+        raw = [0.0] * lanes
+        for net in caps:
+            diff = a[net] ^ b[net]
+            cap = caps[net]
+            while diff:
+                lsb = diff & -diff
+                raw[lsb.bit_length() - 1] += cap
+                diff ^= lsb
+        return [0.5 * e for e in raw]
 
     strata_means: List[float] = []
     used = 0
     for k, weight in enumerate(weights):
         share = max(4, int(budget * weight))
-        total = sum(cycle_energy(k) for _ in range(share))
+        total = sum(stratum_energies([draw_pair(k) for _ in range(share)]))
         strata_means.append(total / share)
         used += share
     power = sum(w * m for w, m in zip(weights, strata_means)) \

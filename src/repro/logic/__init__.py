@@ -7,7 +7,10 @@ capacitance; here that reference is provided by
 - :mod:`repro.logic.netlist`   -- gate-level circuit representation,
 - :mod:`repro.logic.gates`     -- a generic characterized cell library,
 - :mod:`repro.logic.simulate`  -- zero-delay functional simulation and
-  activity collection,
+  activity collection (scalar reference engine + engine dispatch),
+- :mod:`repro.logic.fastsim`   -- compiled bit-parallel zero-delay
+  engine, exactly equivalent to the reference and 20-50x faster on
+  vector batches,
 - :mod:`repro.logic.eventsim`  -- event-driven timing simulation that
   captures glitching (needed by the retiming study, Section III-J),
 - :mod:`repro.logic.synthesis` -- SOP covers to gate netlists,
@@ -26,6 +29,12 @@ from repro.logic.simulate import (
     ActivityReport,
     random_vectors,
 )
+from repro.logic.fastsim import (
+    CompiledCircuit,
+    PackedVectors,
+    compile_circuit,
+    random_packed_vectors,
+)
 from repro.logic.eventsim import EventSimulator
 
 __all__ = [
@@ -39,5 +48,9 @@ __all__ = [
     "collect_activity",
     "ActivityReport",
     "random_vectors",
+    "CompiledCircuit",
+    "PackedVectors",
+    "compile_circuit",
+    "random_packed_vectors",
     "EventSimulator",
 ]

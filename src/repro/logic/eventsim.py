@@ -31,8 +31,7 @@ class EventSimulator:
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
         self._fanout = circuit.fanout_map()
-        self._caps = {net: circuit.load_capacitance(net, self._fanout)
-                      for net in circuit.nets}
+        self._caps = circuit.load_capacitances()
         self._values: Dict[str, int] = {}
         self._state = {l.output: l.init for l in circuit.latches}
         self._counter = itertools.count()

@@ -64,6 +64,26 @@ class Circuit:
         self._driver: Dict[str, object] = {}
         self._reserved: Set[str] = set()
         self._topo_cache: Optional[List[Gate]] = None
+        self._fanout_cache: Optional[
+            Dict[str, List[Tuple[object, int]]]] = None
+        self._caps_cache: Optional[Dict[str, float]] = None
+        self._fastsim_plan: Optional[object] = None
+        self._version: int = 0
+
+    def invalidate(self) -> None:
+        """Drop all derived caches after a structural mutation.
+
+        The construction methods call this automatically; code that
+        mutates gates or latches in place (rewiring ``gate.inputs``,
+        setting ``latch.enable``, ...) must call it explicitly so the
+        cached topological order, fanout map, load capacitances, and
+        compiled simulation plan are rebuilt.
+        """
+        self._topo_cache = None
+        self._fanout_cache = None
+        self._caps_cache = None
+        self._fastsim_plan = None
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,6 +93,7 @@ class Circuit:
             raise ValueError(f"net {net!r} already driven")
         self.inputs.append(net)
         self._driver[net] = "input"
+        self.invalidate()
         return net
 
     def add_inputs(self, nets: Iterable[str]) -> List[str]:
@@ -88,6 +109,7 @@ class Circuit:
 
     def add_output(self, net: str) -> str:
         self.outputs.append(net)
+        self.invalidate()     # the output pad adds fanout load
         return net
 
     def add_gate(self, gate_type: str, inputs: Sequence[str],
@@ -112,7 +134,7 @@ class Circuit:
         gate = Gate(name, gate_type, list(inputs), output)
         self.gates.append(gate)
         self._driver[output] = gate
-        self._topo_cache = None
+        self.invalidate()
         return output
 
     def add_latch(self, data: str, output: Optional[str] = None,
@@ -130,7 +152,7 @@ class Circuit:
         latch = Latch(name, data, output, init, enable, clocked)
         self.latches.append(latch)
         self._driver[output] = latch
-        self._topo_cache = None
+        self.invalidate()
         return output
 
     # ------------------------------------------------------------------
@@ -154,8 +176,12 @@ class Circuit:
         """net -> list of (consumer, pin index) pairs.
 
         Consumers are Gate instances, Latch instances (pin 0 = D), or
-        the string 'output' for primary outputs.
+        the string 'output' for primary outputs.  The map is cached
+        until the next structural mutation (see :meth:`invalidate`);
+        treat the returned dict as read-only.
         """
+        if self._fanout_cache is not None:
+            return self._fanout_cache
         fanout: Dict[str, List[Tuple[object, int]]] = {n: [] for n in self.nets}
         for gate in self.gates:
             for pin, net in enumerate(gate.inputs):
@@ -166,6 +192,7 @@ class Circuit:
                 fanout.setdefault(latch.enable, []).append((latch, 1))
         for net in self.outputs:
             fanout.setdefault(net, []).append(("output", 0))
+        self._fanout_cache = fanout
         return fanout
 
     def topological_gates(self) -> List[Gate]:
@@ -236,10 +263,22 @@ class Circuit:
             cap += gatelib.DFF_OUTPUT_CAP
         return cap
 
+    def load_capacitances(self) -> Dict[str, float]:
+        """Per-net load capacitance for every net, in ``nets`` order.
+
+        Cached until the next structural mutation — both simulation
+        engines and the event simulator share this map instead of
+        rebuilding it per call.  Treat the returned dict as read-only.
+        """
+        if self._caps_cache is None:
+            fanout = self.fanout_map()
+            self._caps_cache = {net: self.load_capacitance(net, fanout)
+                                for net in self.nets}
+        return self._caps_cache
+
     def total_capacitance(self) -> float:
         """Sum of load capacitances over all nets (the C_tot of II-B1)."""
-        fanout = self.fanout_map()
-        return sum(self.load_capacitance(net, fanout) for net in self.nets)
+        return sum(self.load_capacitances().values())
 
     def clock_capacitance(self) -> float:
         return gatelib.DFF_CLOCK_CAP * sum(1 for l in self.latches

@@ -6,6 +6,20 @@ clock cycle; toggles counted here exclude glitches (use
 functional simulation" repeatedly invoked by the paper's high-level
 models (e.g. to obtain output entropies in Section II-B1 or output
 activities for the 3D-table macro-model of [41]).
+
+Two engines back the public entry points:
+
+- the *reference* engine in this module: scalar, one vector at a
+  time, per-gate dict lookups — simple and obviously correct,
+- the *fast* engine in :mod:`repro.logic.fastsim`: a compiled,
+  bit-parallel evaluator that packs the whole batch into one bignum
+  word per net and is exactly equivalent (bit-identical
+  :class:`ActivityReport`).
+
+:func:`collect_activity` and :func:`output_trace` take
+``engine="fast"|"reference"`` and default to the fast engine
+(:data:`DEFAULT_ENGINE`), falling back to the reference scalar path
+for circuits the compiler cannot lower.
 """
 
 from __future__ import annotations
@@ -19,6 +33,9 @@ from repro.logic.netlist import Circuit
 
 
 Vector = Dict[str, int]
+
+#: Engine used when callers do not pass ``engine=...`` explicitly.
+DEFAULT_ENGINE = "fast"
 
 
 def random_vectors(inputs: Sequence[str], n: int,
@@ -79,6 +96,18 @@ class ActivityReport:
     ``switched_capacitance`` -- sum over transitions of the toggling
     net's load capacitance (units of C0); with clock tree included for
     sequential circuits.
+
+    Normalization convention (deliberate, engine-independent): a run
+    of ``cycles`` settled states has ``cycles - 1`` *boundaries*
+    between consecutive states.  Transition statistics — ``toggles``,
+    ``switched_capacitance``, ``clock_capacitance`` — accumulate over
+    boundaries, so :meth:`activity` and :meth:`average_power` divide
+    by ``cycles - 1`` (and are 0.0 when ``cycles <= 1``: a single
+    vector cannot toggle anything).  Value statistics — ``ones`` —
+    accumulate over all ``cycles`` states, so :meth:`probability`
+    divides by ``cycles``.  Both engines implement exactly this
+    convention and agree bit-for-bit, including the 1- and 2-cycle
+    edge cases.
     """
 
     cycles: int
@@ -132,15 +161,41 @@ def simulate(circuit: Circuit, vectors: Sequence[Vector],
 
 
 def collect_activity(circuit: Circuit, vectors: Sequence[Vector],
-                     initial_state: Optional[Dict[str, int]] = None
-                     ) -> ActivityReport:
-    """Run a zero-delay simulation and accumulate switching statistics."""
-    fanout = circuit.fanout_map()
-    caps = {net: circuit.load_capacitance(net, fanout)
-            for net in circuit.nets}
+                     initial_state: Optional[Dict[str, int]] = None,
+                     engine: Optional[str] = None) -> ActivityReport:
+    """Run a zero-delay simulation and accumulate switching statistics.
+
+    ``vectors`` is a sequence of per-cycle input dicts or a
+    :class:`repro.logic.fastsim.PackedVectors` batch.  ``engine``
+    selects the implementation: ``"fast"`` (bit-parallel compiled,
+    the default) or ``"reference"`` (scalar).  Both produce
+    bit-identical reports; the fast engine falls back to the
+    reference automatically when the circuit cannot be compiled.
+    """
+    from repro.logic import fastsim
+
+    engine = engine or DEFAULT_ENGINE
+    if engine == "fast":
+        try:
+            return fastsim.collect_activity(circuit, vectors, initial_state)
+        except fastsim.CompileError:
+            pass
+    elif engine != "reference":
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "expected 'fast' or 'reference'")
+    if isinstance(vectors, fastsim.PackedVectors):
+        vectors = vectors.to_vectors()
+    return _collect_activity_reference(circuit, vectors, initial_state)
+
+
+def _collect_activity_reference(circuit: Circuit,
+                                vectors: Sequence[Vector],
+                                initial_state: Optional[Dict[str, int]]
+                                = None) -> ActivityReport:
+    """Scalar reference implementation (one vector at a time)."""
+    caps = circuit.load_capacitances()
     toggles: Dict[str, int] = {net: 0 for net in caps}
     ones: Dict[str, int] = {net: 0 for net in caps}
-    switched = 0.0
     previous: Optional[Dict[str, int]] = None
 
     trace = simulate(circuit, vectors, initial_state)
@@ -151,19 +206,27 @@ def collect_activity(circuit: Circuit, vectors: Sequence[Vector],
                 ones[net] += 1
             if previous is not None and previous[net] != value:
                 toggles[net] += 1
-                switched += caps[net]
         previous = values
+
+    switched = 0.0
+    for net in caps:
+        count = toggles[net]
+        if count:
+            switched += caps[net] * count
 
     cycles = len(vectors)
     clock_cap = 0.0
     if circuit.latches and cycles > 1:
-        # The clock toggles twice per cycle; load-enable latches sit
-        # behind a clock gate and only see the clock when enabled.
+        # The clock toggles twice per counted cycle; load-enable
+        # latches sit behind a clock gate and only see the clock when
+        # enabled.
+        enabled_latch_cycles = 0
         for values in trace[:-1]:
             for latch in circuit.latches:
                 if latch.clocked and (latch.enable is None
                                       or values[latch.enable]):
-                    clock_cap += 2.0 * gatelib.DFF_CLOCK_CAP
+                    enabled_latch_cycles += 1
+        clock_cap = 2.0 * gatelib.DFF_CLOCK_CAP * enabled_latch_cycles
     return ActivityReport(
         cycles=cycles,
         toggles=toggles,
@@ -174,8 +237,21 @@ def collect_activity(circuit: Circuit, vectors: Sequence[Vector],
 
 
 def output_trace(circuit: Circuit, vectors: Sequence[Vector],
-                 initial_state: Optional[Dict[str, int]] = None
-                 ) -> List[Vector]:
+                 initial_state: Optional[Dict[str, int]] = None,
+                 engine: Optional[str] = None) -> List[Vector]:
     """Primary-output values per cycle (convenience wrapper)."""
+    from repro.logic import fastsim
+
+    engine = engine or DEFAULT_ENGINE
+    if engine == "fast":
+        try:
+            return fastsim.output_trace(circuit, vectors, initial_state)
+        except fastsim.CompileError:
+            pass
+    elif engine != "reference":
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "expected 'fast' or 'reference'")
+    if isinstance(vectors, fastsim.PackedVectors):
+        vectors = vectors.to_vectors()
     trace = simulate(circuit, vectors, initial_state)
     return [{o: values[o] for o in circuit.outputs} for values in trace]

@@ -98,7 +98,7 @@ def build_gated_fsm(stg: STG, encoding: Optional[Encoding] = None,
     enable = circuit.add_gate("INV", ["fa"], output="clk_en")
     for latch in circuit.latches:
         latch.enable = enable
-    circuit._topo_cache = None
+    circuit.invalidate()
     return circuit, "fa"
 
 

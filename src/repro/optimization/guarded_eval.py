@@ -167,7 +167,7 @@ def apply_guarded_evaluation(circuit: Circuit,
             if gate.name in cone_set:
                 gate.inputs = [held if x == net else x
                                for x in gate.inputs]
-    new._topo_cache = None
+    new.invalidate()
     return new
 
 

@@ -72,13 +72,16 @@ class RtlComponent:
 
     def reference_activity(self, operand_streams: Sequence[WordStream]
                            ) -> ActivityReport:
-        """Gate-level activity under word-level stimulus (ground truth)."""
-        length = min(len(s) for s in operand_streams)
-        vectors = [
-            self.input_vector([s.words[t] for s in operand_streams])
-            for t in range(length)
-        ]
-        return collect_activity(self.circuit, vectors)
+        """Gate-level activity under word-level stimulus (ground truth).
+
+        Streams are packed directly into bit-parallel input lanes, so
+        characterization runs (thousands of cycles per component) skip
+        the per-cycle vector dicts entirely.
+        """
+        from repro.logic import fastsim
+
+        packed = fastsim.pack_streams(self.input_ports, operand_streams)
+        return collect_activity(self.circuit, packed)
 
     def reference_power(self, operand_streams: Sequence[WordStream],
                         vdd: float = 1.0, freq: float = 1.0) -> float:
@@ -88,16 +91,32 @@ class RtlComponent:
     def cycle_energies(self, operand_streams: Sequence[WordStream],
                        vdd: float = 1.0) -> List[float]:
         """Per-cycle switched energy (for cycle-accurate macro-models)."""
+        from repro.logic import fastsim
+
+        caps = self.circuit.load_capacitances()
+        packed = fastsim.pack_streams(self.input_ports, operand_streams)
+        try:
+            words, n = fastsim.net_words(self.circuit, packed)
+        except fastsim.CompileError:
+            return self._cycle_energies_reference(packed.to_vectors(),
+                                                  caps, vdd)
+        raw = [0.0] * max(0, n - 1)
+        boundary_mask = ((1 << n) - 1) & ~1
+        for net in caps:
+            diff = words[net]
+            diff = (diff ^ (diff << 1)) & boundary_mask
+            cap = caps[net]
+            while diff:
+                lsb = diff & -diff
+                raw[lsb.bit_length() - 2] += cap
+                diff ^= lsb
+        return [0.5 * vdd * vdd * e for e in raw]
+
+    def _cycle_energies_reference(self, vectors: Sequence[Dict[str, int]],
+                                  caps: Dict[str, float],
+                                  vdd: float) -> List[float]:
         from repro.logic.simulate import simulate
 
-        length = min(len(s) for s in operand_streams)
-        vectors = [
-            self.input_vector([s.words[t] for s in operand_streams])
-            for t in range(length)
-        ]
-        fanout = self.circuit.fanout_map()
-        caps = {net: self.circuit.load_capacitance(net, fanout)
-                for net in self.circuit.nets}
         trace = simulate(self.circuit, vectors)
         energies: List[float] = []
         for prev, cur in zip(trace, trace[1:]):
