@@ -1,0 +1,38 @@
+"""Shared plumbing for the perf benches.
+
+Both perf benches (``bench_perf_fastsim.py``, ``bench_perf_bdd.py``)
+record their measurements in a JSON file at the repo root with one
+schema: a flat object keyed by experiment name, each entry carrying the
+workload description plus timings/speedups.  Keeping the writer here
+means the files stay diffable against each other and any future perf
+bench inherits the format for free.
+"""
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def measure(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record(path: Path, key: str, entry: Dict) -> None:
+    """Merge ``entry`` under ``key`` into the JSON results file."""
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data[key] = entry
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

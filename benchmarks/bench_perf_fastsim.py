@@ -8,9 +8,7 @@ sequential.  Measured speedups are recorded in ``BENCH_fastsim.json``
 at the repo root.
 """
 
-import json
-import time
-from pathlib import Path
+from _perf_common import REPO_ROOT, measure, record
 
 from conftest import shape
 
@@ -21,29 +19,15 @@ from repro.logic.simulate import (
     random_vectors,
 )
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent \
-    / "BENCH_fastsim.json"
+RESULTS_PATH = REPO_ROOT / "BENCH_fastsim.json"
 
 
 def _measure(fn, min_repeat: int = 1) -> float:
-    best = float("inf")
-    for _ in range(min_repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return measure(fn, repeats=min_repeat)
 
 
 def _record(entry: dict) -> None:
-    data = {}
-    if RESULTS_PATH.exists():
-        try:
-            data = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            data = {}
-    data[entry.pop("key")] = entry
-    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
-                            + "\n")
+    record(RESULTS_PATH, entry.pop("key"), entry)
 
 
 def _compare(circuit, vectors, key, repeats=3):

@@ -8,11 +8,40 @@ used; clarity and debuggability win over the constant-factor saving.
 
 Node identity is an integer index into the manager's node array, so
 BDD equality is integer equality (canonical form).
+
+Engineering notes (the "production" layer on top of the textbook):
+
+- Every traversal (``ite``, ``and_exists``, ``restrict``, ``compose``,
+  ``sat_count``, ``probability``, ``satisfy_all``) runs on an explicit
+  work stack, so depth is bounded by heap, not by the Python recursion
+  limit — circuits with thousand-level variable chains are fine.
+- ``and_exists`` is the fused relational product (conjoin and
+  existentially quantify in one pass, Burch-style) with its own
+  computed table and early termination on a TRUE cofactor; ``exists``
+  and ``forall`` are thin wrappers over it.
+- ``gc()`` is mark-and-sweep over the externally referenced roots
+  (every live :class:`Bdd` handle, tracked by weak references) with
+  table compaction; live handles are remapped in place.
+- ``reorder()`` is Rudell sifting built on in-place adjacent-level
+  swaps; node ids keep their semantic function through swaps, so
+  handles stay valid without remapping.  An optional auto trigger
+  fires when the node store outgrows a threshold.
+- ``stats()`` exposes the telemetry: node/cache sizes, hit rates, GC
+  and reorder counts.
+
+Safety rule for the automatic triggers (GC and reordering renumber or
+restructure nodes): they fire only from the :class:`Bdd` operator
+wrappers, *before* any raw root id has been read, never inside a
+manager-level operation.  Code that holds raw integer roots (the
+manager's own internals, :mod:`repro.logic.shannon`) is therefore
+never invalidated mid-flight.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 
 class BddNode:
@@ -34,6 +63,13 @@ FALSE = 0
 TRUE = 1
 _TERMINAL_LEVEL = 1 << 30
 
+# Work-stack task tags shared by the iterative traversals.
+_EXPAND = 0
+_COMBINE = 1
+_FORWARD = 2
+_CHECK_LOW = 3
+_COMBINE_OR = 4
+
 
 class Bdd:
     """Handle to a BDD function: a (manager, root-id) pair.
@@ -41,13 +77,19 @@ class Bdd:
     Supports the Boolean operators ``&``, ``|``, ``^``, ``~`` and the
     comparison ``==`` (canonical, O(1)).  All heavy lifting is delegated
     to the owning :class:`BddManager`.
+
+    Handles are weakly registered with their manager: they are the GC
+    roots, and garbage collection / reordering updates them in place.
+    Note that ``hash(bdd)`` is therefore only stable between ``gc()``
+    calls — do not key long-lived dicts by :class:`Bdd` across a GC.
     """
 
-    __slots__ = ("manager", "root")
+    __slots__ = ("manager", "root", "__weakref__")
 
     def __init__(self, manager: "BddManager", root: int) -> None:
         self.manager = manager
         self.root = root
+        manager._register_handle(self)
 
     def _check(self, other: "Bdd") -> None:
         if self.manager is not other.manager:
@@ -55,25 +97,33 @@ class Bdd:
 
     def __and__(self, other: "Bdd") -> "Bdd":
         self._check(other)
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.apply_and(self.root, other.root))
 
     def __or__(self, other: "Bdd") -> "Bdd":
         self._check(other)
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.apply_or(self.root, other.root))
 
     def __xor__(self, other: "Bdd") -> "Bdd":
         self._check(other)
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.apply_xor(self.root, other.root))
 
     def __invert__(self) -> "Bdd":
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.apply_not(self.root))
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, Bdd)
-            and self.manager is other.manager
-            and self.root == other.root
-        )
+        if not isinstance(other, Bdd):
+            return NotImplemented
+        return self.manager is other.manager and self.root == other.root
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
 
     def __hash__(self) -> int:
         return hash((id(self.manager), self.root))
@@ -92,6 +142,7 @@ class Bdd:
     def ite(self, then_f: "Bdd", else_f: "Bdd") -> "Bdd":
         self._check(then_f)
         self._check(else_f)
+        self.manager._maybe_auto()
         return Bdd(
             self.manager,
             self.manager.ite(self.root, then_f.root, else_f.root))
@@ -104,18 +155,29 @@ class Bdd:
 
     def restrict(self, assignment: Dict[str, bool]) -> "Bdd":
         """Cofactor with respect to a partial variable assignment."""
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.restrict(self.root, assignment))
 
     def compose(self, name: str, g: "Bdd") -> "Bdd":
         """Substitute function ``g`` for variable ``name``."""
         self._check(g)
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.compose(self.root, name, g.root))
 
     def exists(self, names: Iterable[str]) -> "Bdd":
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.exists(self.root, names))
 
     def forall(self, names: Iterable[str]) -> "Bdd":
+        self.manager._maybe_auto()
         return Bdd(self.manager, self.manager.forall(self.root, names))
+
+    def and_exists(self, other: "Bdd", names: Iterable[str]) -> "Bdd":
+        """Fused relational product: ``exists names (self & other)``."""
+        self._check(other)
+        self.manager._maybe_auto()
+        return Bdd(self.manager,
+                   self.manager.and_exists(self.root, other.root, names))
 
     def support(self) -> List[str]:
         return self.manager.support(self.root)
@@ -143,14 +205,31 @@ class Bdd:
 
 
 class BddManager:
-    """Owner of the node store, unique table, and computed table.
+    """Owner of the node store, unique table, and computed tables.
 
     Variables are ordered by registration order (``var`` assigns the next
     level); an explicit order can be fixed up-front with
-    :meth:`declare`.
+    :meth:`declare` and changed later with :meth:`reorder`.
+
+    Parameters
+    ----------
+    auto_reorder:
+        When true, :meth:`reorder` (Rudell sifting) fires automatically
+        once the node store exceeds ``auto_reorder_threshold``; the
+        threshold then doubles (CUDD-style backoff).  Off by default —
+        reordering is semantics-preserving but changes node counts.
+    auto_gc_threshold:
+        Node-store size above which mark-and-sweep GC runs
+        automatically at the next safe point.
+    cache_limit:
+        Computed tables larger than this are aged out (cleared) at the
+        next safe point, bounding memory on long-running managers.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, auto_reorder: bool = False,
+                 auto_reorder_threshold: int = 10_000,
+                 auto_gc_threshold: int = 1_000_000,
+                 cache_limit: int = 1 << 20) -> None:
         # Nodes 0 and 1 are the terminals; give them a level below all
         # variables so cofactor logic never descends into them.
         self._nodes: List[BddNode] = [
@@ -159,8 +238,33 @@ class BddManager:
         ]
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._ae_cache: Dict[Tuple[int, int, int], int] = {}
+        self._cube_ids: Dict[FrozenSet[int], int] = {}
         self._var_levels: Dict[str, int] = {}
         self._level_vars: List[str] = []
+        # External-root registry: id(handle) -> weakref.  Keyed by
+        # identity, NOT equality — distinct handles often share a root
+        # and must each be tracked (a WeakSet would coalesce them and
+        # lose roots when the first registrant dies).
+        self._handles: Dict[int, "weakref.ref[Bdd]"] = {}
+
+        self.auto_reorder = auto_reorder
+        self.auto_reorder_threshold = auto_reorder_threshold
+        self.auto_gc_threshold = auto_gc_threshold
+        self.cache_limit = cache_limit
+
+        # Telemetry counters (see stats()).
+        self._unique_hits = 0
+        self._unique_misses = 0
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._ae_hits = 0
+        self._ae_misses = 0
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._reorders = 0
+        self._cache_ages = 0
+        self._peak_nodes = 2
 
     # ------------------------------------------------------------------
     # Variable handling
@@ -183,6 +287,7 @@ class BddManager:
 
     @property
     def variables(self) -> List[str]:
+        """Variable names in current level order (top first)."""
         return list(self._level_vars)
 
     def level_of(self, name: str) -> int:
@@ -197,7 +302,8 @@ class BddManager:
         return Bdd(self, FALSE)
 
     def size(self) -> int:
-        """Total number of live nodes in the manager (incl. terminals)."""
+        """Total number of stored nodes in the manager (incl. terminals,
+        incl. garbage not yet collected)."""
         return len(self._nodes)
 
     # ------------------------------------------------------------------
@@ -209,43 +315,74 @@ class BddManager:
         key = (level, low, high)
         node_id = self._unique.get(key)
         if node_id is None:
+            self._unique_misses += 1
             node_id = len(self._nodes)
             self._nodes.append(BddNode(level, low, high))
             self._unique[key] = node_id
+            if node_id >= self._peak_nodes:
+                self._peak_nodes = node_id + 1
+        else:
+            self._unique_hits += 1
         return node_id
 
     def _node(self, node_id: int) -> BddNode:
         return self._nodes[node_id]
 
     # ------------------------------------------------------------------
-    # Core operation: ite
+    # Core operation: ite (iterative, explicit work stack)
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
-        # Terminal cases.
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
-
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-
-        top = min(self._nodes[f].level, self._nodes[g].level,
-                  self._nodes[h].level)
-        f0, f1 = self._cofactors(f, top)
-        g0, g1 = self._cofactors(g, top)
-        h0, h1 = self._cofactors(h, top)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
-        result = self._mk(top, low, high)
-        self._ite_cache[key] = result
-        return result
+        nodes = self._nodes
+        cache = self._ite_cache
+        tasks: List[Tuple[int, ...]] = [(_EXPAND, f, g, h)]
+        vals: List[int] = []
+        push = tasks.append
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _EXPAND:
+                _, f, g, h = task
+                # Terminal cases.
+                if f == TRUE:
+                    vals.append(g)
+                    continue
+                if f == FALSE:
+                    vals.append(h)
+                    continue
+                if g == h:
+                    vals.append(g)
+                    continue
+                if g == TRUE and h == FALSE:
+                    vals.append(f)
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._ite_hits += 1
+                    vals.append(cached)
+                    continue
+                self._ite_misses += 1
+                fn = nodes[f]
+                gn = nodes[g]
+                hn = nodes[h]
+                top = fn.level
+                if gn.level < top:
+                    top = gn.level
+                if hn.level < top:
+                    top = hn.level
+                f0, f1 = (fn.low, fn.high) if fn.level == top else (f, f)
+                g0, g1 = (gn.low, gn.high) if gn.level == top else (g, g)
+                h0, h1 = (hn.low, hn.high) if hn.level == top else (h, h)
+                push((_COMBINE, top, key))
+                push((_EXPAND, f1, g1, h1))
+                push((_EXPAND, f0, g0, h0))
+            else:  # _COMBINE
+                _, top, key = task
+                high = vals.pop()
+                low = vals.pop()
+                result = self._mk(top, low, high)
+                cache[key] = result
+                vals.append(result)
+        return vals[0]
 
     def _cofactors(self, node_id: int, level: int) -> Tuple[int, int]:
         node = self._nodes[node_id]
@@ -270,75 +407,180 @@ class BddManager:
 
     def restrict(self, f: int, assignment: Dict[str, bool]) -> int:
         by_level = {self._var_levels[n]: v for n, v in assignment.items()}
+        if not by_level or f <= TRUE:
+            return f
+        nodes = self._nodes
         cache: Dict[int, int] = {}
-
-        def walk(node_id: int) -> int:
-            if node_id <= TRUE:
-                return node_id
-            hit = cache.get(node_id)
-            if hit is not None:
-                return hit
-            node = self._nodes[node_id]
-            if node.level in by_level:
-                result = walk(node.high if by_level[node.level] else node.low)
-            else:
-                result = self._mk(node.level, walk(node.low), walk(node.high))
-            cache[node_id] = result
-            return result
-
-        return walk(f)
+        tasks: List[Tuple[int, int]] = [(_EXPAND, f)]
+        vals: List[int] = []
+        push = tasks.append
+        while tasks:
+            tag, nid = tasks.pop()
+            if tag == _EXPAND:
+                if nid <= TRUE:
+                    vals.append(nid)
+                    continue
+                hit = cache.get(nid)
+                if hit is not None:
+                    vals.append(hit)
+                    continue
+                node = nodes[nid]
+                value = by_level.get(node.level)
+                if value is not None:
+                    push((_FORWARD, nid))
+                    push((_EXPAND, node.high if value else node.low))
+                else:
+                    push((_COMBINE, nid))
+                    push((_EXPAND, node.high))
+                    push((_EXPAND, node.low))
+            elif tag == _COMBINE:
+                node = nodes[nid]
+                high = vals.pop()
+                low = vals.pop()
+                result = self._mk(node.level, low, high)
+                cache[nid] = result
+                vals.append(result)
+            else:  # _FORWARD: restricted level, pass the child through
+                result = vals.pop()
+                cache[nid] = result
+                vals.append(result)
+        return vals[0]
 
     def compose(self, f: int, name: str, g: int) -> int:
         level = self._var_levels[name]
+        nodes = self._nodes
         cache: Dict[int, int] = {}
-
-        def walk(node_id: int) -> int:
-            node = self._nodes[node_id]
-            if node_id <= TRUE or node.level > level:
-                return node_id
-            hit = cache.get(node_id)
-            if hit is not None:
-                return hit
-            if node.level == level:
-                result = self.ite(g, node.high, node.low)
-            else:
-                low = walk(node.low)
-                high = walk(node.high)
+        tasks: List[Tuple[int, int]] = [(_EXPAND, f)]
+        vals: List[int] = []
+        push = tasks.append
+        while tasks:
+            tag, nid = tasks.pop()
+            if tag == _EXPAND:
+                node = nodes[nid]
+                if nid <= TRUE or node.level > level:
+                    vals.append(nid)
+                    continue
+                hit = cache.get(nid)
+                if hit is not None:
+                    vals.append(hit)
+                    continue
+                if node.level == level:
+                    result = self.ite(g, node.high, node.low)
+                    cache[nid] = result
+                    vals.append(result)
+                    continue
+                push((_COMBINE, nid))
+                push((_EXPAND, node.high))
+                push((_EXPAND, node.low))
+            else:  # _COMBINE
+                node = nodes[nid]
+                high = vals.pop()
+                low = vals.pop()
                 # Children may now depend on variables above node.level,
                 # so rebuild with ite on the decision variable.
                 var_id = self._mk(node.level, FALSE, TRUE)
                 result = self.ite(var_id, high, low)
-            cache[node_id] = result
-            return result
+                cache[nid] = result
+                vals.append(result)
+        return vals[0]
 
-        return walk(f)
+    # ------------------------------------------------------------------
+    # Fused relational product: exists names (f & g)
+    # ------------------------------------------------------------------
+    def and_exists(self, f: int, g: int, names: Iterable[str]) -> int:
+        """Conjoin-and-quantify in one traversal (Burch-style).
 
-    def exists(self, f: int, names: Iterable[str]) -> int:
+        Equivalent to ``exists(apply_and(f, g), names)`` but never
+        builds the intermediate conjunction, short-circuits to TRUE as
+        soon as a quantified cofactor hits TRUE, and memoizes results
+        in a dedicated computed table keyed by the (interned)
+        quantified variable set — so fixpoint loops that reuse the same
+        relation and cube hit the cache across iterations.
+        """
         levels = frozenset(self._var_levels[n] for n in names)
         if not levels:
-            return f
-        cache: Dict[int, int] = {}
+            return self.ite(f, g, FALSE)
+        cube_id = self._cube_ids.get(levels)
+        if cube_id is None:
+            cube_id = len(self._cube_ids)
+            self._cube_ids[levels] = cube_id
+        max_level = max(levels)
+        nodes = self._nodes
+        cache = self._ae_cache
+        tasks: List[Tuple[int, ...]] = [(_EXPAND, f, g)]
+        vals: List[int] = []
+        push = tasks.append
+        while tasks:
+            task = tasks.pop()
+            tag = task[0]
+            if tag == _EXPAND:
+                _, f, g = task
+                if f == FALSE or g == FALSE:
+                    vals.append(FALSE)
+                    continue
+                if g == TRUE or f == g:
+                    if f == TRUE:
+                        vals.append(TRUE)
+                        continue
+                    g = TRUE
+                elif f == TRUE:
+                    f, g = g, TRUE
+                elif f > g:       # AND is commutative: canonical key
+                    f, g = g, f
+                key = (f, g, cube_id)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._ae_hits += 1
+                    vals.append(cached)
+                    continue
+                self._ae_misses += 1
+                fn = nodes[f]
+                gn = nodes[g]
+                top = fn.level if fn.level < gn.level else gn.level
+                if top > max_level:
+                    # Below every quantified variable: plain conjunction.
+                    result = self.ite(f, g, FALSE)
+                    cache[key] = result
+                    vals.append(result)
+                    continue
+                f0, f1 = (fn.low, fn.high) if fn.level == top else (f, f)
+                g0, g1 = (gn.low, gn.high) if gn.level == top else (g, g)
+                if top in levels:
+                    push((_CHECK_LOW, key, f1, g1))
+                    push((_EXPAND, f0, g0))
+                else:
+                    push((_COMBINE, top, key))
+                    push((_EXPAND, f1, g1))
+                    push((_EXPAND, f0, g0))
+            elif tag == _COMBINE:
+                _, top, key = task
+                high = vals.pop()
+                low = vals.pop()
+                result = self._mk(top, low, high)
+                cache[key] = result
+                vals.append(result)
+            elif tag == _CHECK_LOW:
+                _, key, f1, g1 = task
+                low = vals.pop()
+                if low == TRUE:   # early termination: or-result is TRUE
+                    cache[key] = TRUE
+                    vals.append(TRUE)
+                else:
+                    push((_COMBINE_OR, key, low))
+                    push((_EXPAND, f1, g1))
+            else:  # _COMBINE_OR
+                _, key, low = task
+                high = vals.pop()
+                result = self.ite(low, TRUE, high)
+                cache[key] = result
+                vals.append(result)
+        return vals[0]
 
-        def walk(node_id: int) -> int:
-            if node_id <= TRUE:
-                return node_id
-            hit = cache.get(node_id)
-            if hit is not None:
-                return hit
-            node = self._nodes[node_id]
-            low = walk(node.low)
-            high = walk(node.high)
-            if node.level in levels:
-                result = self.apply_or(low, high)
-            else:
-                result = self._mk(node.level, low, high)
-            cache[node_id] = result
-            return result
-
-        return walk(f)
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        return self.and_exists(f, TRUE, names)
 
     def forall(self, f: int, names: Iterable[str]) -> int:
-        return self.apply_not(self.exists(self.apply_not(f), names))
+        return self.apply_not(self.and_exists(self.apply_not(f), TRUE, names))
 
     # ------------------------------------------------------------------
     # Inspection
@@ -393,31 +635,38 @@ class BddManager:
         levels = sorted(self._var_levels[n] for n in over)
         index = {lvl: i for i, lvl in enumerate(levels)}
         n = len(levels)
-        cache: Dict[int, int] = {}
-
-        def walk(node_id: int) -> int:
-            # Returns count over variables strictly below the node's level
-            # position; caller scales for skipped levels.
-            if node_id == FALSE:
-                return 0
-            if node_id == TRUE:
-                return 1
-            hit = cache.get(node_id)
-            if hit is None:
-                node = self._nodes[node_id]
-                pos = index[node.level]
-                low = walk(node.low) * (1 << self._skipped(node.low, pos, index, n))
-                high = walk(node.high) * (1 << self._skipped(node.high, pos, index, n))
-                hit = low + high
-                cache[node_id] = hit
-            return hit
-
         if f == FALSE:
             return 0
         if f == TRUE:
             return 1 << n
-        root_pos = index[self._nodes[f].level]
-        return walk(f) << root_pos
+        nodes = self._nodes
+        # cache[node] counts over variables strictly below the node's
+        # level position; edges scale for skipped levels.
+        cache: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        stack = [f]
+        while stack:
+            nid = stack[-1]
+            if nid in cache:
+                stack.pop()
+                continue
+            node = nodes[nid]
+            lo, hi = node.low, node.high
+            ready = True
+            if lo not in cache:
+                stack.append(lo)
+                ready = False
+            if hi not in cache:
+                stack.append(hi)
+                ready = False
+            if not ready:
+                continue
+            pos = index[node.level]
+            low = cache[lo] * (1 << self._skipped(lo, pos, index, n))
+            high = cache[hi] * (1 << self._skipped(hi, pos, index, n))
+            cache[nid] = low + high
+            stack.pop()
+        root_pos = index[nodes[f].level]
+        return cache[f] << root_pos
 
     def _skipped(self, child: int, parent_pos: int,
                  index: Dict[int, int], n: int) -> int:
@@ -437,19 +686,30 @@ class BddManager:
         estimators [27]-[31].
         """
         probs = var_probs or {}
+        nodes = self._nodes
+        level_vars = self._level_vars
         cache: Dict[int, float] = {FALSE: 0.0, TRUE: 1.0}
-
-        def walk(node_id: int) -> float:
-            hit = cache.get(node_id)
-            if hit is not None:
-                return hit
-            node = self._nodes[node_id]
-            p = probs.get(self._level_vars[node.level], 0.5)
-            result = (1.0 - p) * walk(node.low) + p * walk(node.high)
-            cache[node_id] = result
-            return result
-
-        return walk(f)
+        stack = [f]
+        while stack:
+            nid = stack[-1]
+            if nid in cache:
+                stack.pop()
+                continue
+            node = nodes[nid]
+            lo, hi = node.low, node.high
+            ready = True
+            if lo not in cache:
+                stack.append(lo)
+                ready = False
+            if hi not in cache:
+                stack.append(hi)
+                ready = False
+            if not ready:
+                continue
+            p = probs.get(level_vars[node.level], 0.5)
+            cache[nid] = (1.0 - p) * cache[lo] + p * cache[hi]
+            stack.pop()
+        return cache[f]
 
     def satisfy_one(self, f: int) -> Optional[Dict[str, bool]]:
         if f == FALSE:
@@ -469,23 +729,306 @@ class BddManager:
 
     def satisfy_all(self, f: int) -> Iterator[Dict[str, bool]]:
         """Yield all satisfying assignments (over support variables only)."""
+        nodes = self._nodes
+        level_vars = self._level_vars
 
-        def walk(node_id: int, partial: Dict[str, bool]
-                 ) -> Iterator[Dict[str, bool]]:
-            if node_id == FALSE:
-                return
-            if node_id == TRUE:
-                yield dict(partial)
-                return
-            node = self._nodes[node_id]
-            name = self._level_vars[node.level]
-            partial[name] = False
-            yield from walk(node.low, partial)
-            partial[name] = True
-            yield from walk(node.high, partial)
-            del partial[name]
+        def walk() -> Iterator[Dict[str, bool]]:
+            # Explicit stack of (node, path); low branch explored first
+            # to preserve the historical yield order.
+            stack: List[Tuple[int, Tuple[Tuple[str, bool], ...]]] = \
+                [(f, ())]
+            while stack:
+                node_id, path = stack.pop()
+                if node_id == FALSE:
+                    continue
+                if node_id == TRUE:
+                    yield dict(path)
+                    continue
+                node = nodes[node_id]
+                name = level_vars[node.level]
+                stack.append((node.high, path + ((name, True),)))
+                stack.append((node.low, path + ((name, False),)))
 
-        yield from walk(f, {})
+        return walk()
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def _register_handle(self, handle: "Bdd") -> None:
+        key = id(handle)
+        refs = self._handles
+        refs[key] = weakref.ref(
+            handle, lambda _ref, _key=key, _refs=refs: _refs.pop(_key, None))
+
+    def _iter_handles(self) -> List["Bdd"]:
+        handles = []
+        for ref in list(self._handles.values()):
+            handle = ref()
+            if handle is not None:
+                handles.append(handle)
+        return handles
+
+    def _external_roots(self) -> Set[int]:
+        return {h.root for h in self._iter_handles() if h.root > TRUE}
+
+    def _live_size(self, roots: Iterable[int]) -> int:
+        """Internal nodes reachable from ``roots``."""
+        nodes = self._nodes
+        mark: Set[int] = set()
+        stack = [r for r in roots if r > TRUE]
+        while stack:
+            nid = stack.pop()
+            if nid in mark:
+                continue
+            mark.add(nid)
+            node = nodes[nid]
+            if node.low > TRUE:
+                stack.append(node.low)
+            if node.high > TRUE:
+                stack.append(node.high)
+        return len(mark)
+
+    def gc(self) -> int:
+        """Mark-and-sweep over externally referenced roots.
+
+        Compacts the node store, rebuilds the unique table, clears the
+        computed tables, and remaps every live :class:`Bdd` handle in
+        place.  Returns the number of nodes reclaimed.
+        """
+        handles = self._iter_handles()
+        nodes = self._nodes
+        mark: Set[int] = set()
+        stack = [h.root for h in handles if h.root > TRUE]
+        while stack:
+            nid = stack.pop()
+            if nid in mark:
+                continue
+            mark.add(nid)
+            node = nodes[nid]
+            if node.low > TRUE:
+                stack.append(node.low)
+            if node.high > TRUE:
+                stack.append(node.high)
+
+        reclaimed = len(nodes) - 2 - len(mark)
+        if reclaimed <= 0:
+            self._gc_runs += 1
+            return 0
+
+        remap = {FALSE: FALSE, TRUE: TRUE}
+        new_nodes = [nodes[FALSE], nodes[TRUE]]
+        for nid in sorted(mark):
+            remap[nid] = len(new_nodes)
+            new_nodes.append(nodes[nid])
+        for nid in mark:
+            node = nodes[nid]
+            node.low = remap[node.low]
+            node.high = remap[node.high]
+        self._nodes = new_nodes
+        self._unique = {
+            (node.level, node.low, node.high): idx
+            for idx, node in enumerate(new_nodes[2:], start=2)
+        }
+        self._ite_cache.clear()
+        self._ae_cache.clear()
+        for handle in handles:
+            handle.root = remap[handle.root]
+        self._gc_runs += 1
+        self._gc_reclaimed += reclaimed
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Dynamic variable reordering (Rudell sifting)
+    # ------------------------------------------------------------------
+    def _swap_adjacent(self, pos: int) -> None:
+        """Swap the variables at levels ``pos`` and ``pos + 1`` in place.
+
+        Node ids keep their semantic function (nodes are mutated, never
+        replaced), so external handles and computed-table entries remain
+        valid; dead nodes created by the re-expression linger until the
+        next :meth:`gc`.
+        """
+        nodes = self._nodes
+        below = pos + 1
+        xs: List[int] = []
+        ys: List[int] = []
+        for idx in range(2, len(nodes)):
+            lvl = nodes[idx].level
+            if lvl == pos:
+                xs.append(idx)
+            elif lvl == below:
+                ys.append(idx)
+        # Drop stale unique entries for both levels; everything live is
+        # re-inserted below under its post-swap key.
+        self._unique = {key: val for key, val in self._unique.items()
+                        if key[0] != pos and key[0] != below}
+        unique = self._unique
+
+        # Snapshot cofactors of the upper (X) nodes while the lower
+        # variable (Y) still sits at level pos + 1.
+        moved: List[int] = []
+        rebuilt: List[Tuple[int, int, int, int, int]] = []
+        for idx in xs:
+            node = nodes[idx]
+            f0, f1 = node.low, node.high
+            y0 = nodes[f0].level == below
+            y1 = nodes[f1].level == below
+            if not (y0 or y1):
+                moved.append(idx)
+                continue
+            f00, f01 = (nodes[f0].low, nodes[f0].high) if y0 else (f0, f0)
+            f10, f11 = (nodes[f1].low, nodes[f1].high) if y1 else (f1, f1)
+            rebuilt.append((idx, f00, f01, f10, f11))
+
+        # Y nodes rise to level pos unchanged.
+        for idx in ys:
+            node = nodes[idx]
+            node.level = pos
+            unique[(pos, node.low, node.high)] = idx
+        # X nodes independent of Y sink to level pos + 1 unchanged.
+        for idx in moved:
+            node = nodes[idx]
+            node.level = below
+            unique[(below, node.low, node.high)] = idx
+        # X nodes depending on Y are re-expressed with Y on top:
+        #   x ? (y ? f11 : f10) : (y ? f01 : f00)
+        # == y ? (x ? f11 : f01) : (x ? f10 : f00)
+        for idx, f00, f01, f10, f11 in rebuilt:
+            low = self._mk(below, f00, f10)
+            high = self._mk(below, f01, f11)
+            node = nodes[idx]
+            node.low = low
+            node.high = high
+            unique[(pos, low, high)] = idx
+
+        upper, lower = self._level_vars[pos], self._level_vars[below]
+        self._level_vars[pos], self._level_vars[below] = lower, upper
+        self._var_levels[lower] = pos
+        self._var_levels[upper] = below
+
+    def _sift_var(self, name: str, roots: Set[int],
+                  max_growth: float) -> None:
+        n = len(self._level_vars)
+        start = self._var_levels[name]
+        best_size = self._live_size(roots)
+        best_pos = start
+        pos = start
+        # Downward pass.
+        while pos < n - 1:
+            self._swap_adjacent(pos)
+            pos += 1
+            size = self._live_size(roots)
+            if size < best_size:
+                best_size, best_pos = size, pos
+            elif size > max_growth * best_size + 2:
+                break
+        # Upward pass (through the original position to the top).
+        while pos > 0:
+            self._swap_adjacent(pos - 1)
+            pos -= 1
+            size = self._live_size(roots)
+            if size < best_size:
+                best_size, best_pos = size, pos
+            elif pos < start and size > max_growth * best_size + 2:
+                break
+        # Settle at the best position seen.
+        while pos < best_pos:
+            self._swap_adjacent(pos)
+            pos += 1
+        while pos > best_pos:
+            self._swap_adjacent(pos - 1)
+            pos -= 1
+
+    def reorder(self, method: str = "sifting",
+                max_growth: float = 1.2) -> int:
+        """Dynamic variable reordering; returns nodes saved.
+
+        ``method`` must be ``"sifting"`` (Rudell): variables are sifted
+        one at a time — most populous level first — through every
+        position, each settling where the live node count is smallest.
+        ``max_growth`` bounds how far a sift may inflate the DAG before
+        the direction is abandoned.
+        """
+        if method not in ("sifting", "sift"):
+            raise ValueError(f"unknown reorder method {method!r}")
+        if len(self._level_vars) < 2:
+            return 0
+        self.gc()
+        before = len(self._nodes)
+        roots = self._external_roots()
+        live = self._live_size(roots)
+
+        occupancy: Dict[int, int] = {}
+        for node in self._nodes[2:]:
+            occupancy[node.level] = occupancy.get(node.level, 0) + 1
+        names = sorted(
+            (v for v in self._level_vars if occupancy.get(
+                self._var_levels[v], 0) > 0),
+            key=lambda v: -occupancy[self._var_levels[v]])
+
+        for name in names:
+            # Swaps leave dead nodes behind; compact periodically so the
+            # scans stay proportional to the live size.  gc() remaps
+            # ids, so refresh the root set afterwards.
+            if len(self._nodes) > 4 * max(live, 256):
+                self.gc()
+                roots = self._external_roots()
+            self._sift_var(name, roots, max_growth)
+            live = self._live_size(roots)
+
+        self._ite_cache.clear()
+        self._ae_cache.clear()
+        self.gc()
+        self._reorders += 1
+        return before - len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Automatic maintenance (safe points only)
+    # ------------------------------------------------------------------
+    def _maybe_auto(self) -> None:
+        """Run due maintenance.  Called only from Bdd operator wrappers,
+        before any raw root id is read — GC/reordering renumber nodes,
+        so they must never fire inside a manager-level operation."""
+        if len(self._ite_cache) > self.cache_limit:
+            self._ite_cache.clear()
+            self._cache_ages += 1
+        if len(self._ae_cache) > self.cache_limit:
+            self._ae_cache.clear()
+            self._cache_ages += 1
+        if len(self._nodes) >= self.auto_gc_threshold:
+            if self.gc() < len(self._nodes) // 4:
+                # Mostly live: postpone the next collection.
+                self.auto_gc_threshold = 2 * len(self._nodes)
+        if self.auto_reorder \
+                and len(self._nodes) >= self.auto_reorder_threshold:
+            self.reorder()
+            self.auto_reorder_threshold = max(
+                self.auto_reorder_threshold, 2 * len(self._nodes))
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability; all keys are flat ints so the
+        dict serializes straight into bench JSON."""
+        return {
+            "nodes_total": len(self._nodes),
+            "nodes_live": self._live_size(self._external_roots()) + 2,
+            "nodes_peak": self._peak_nodes,
+            "variables": len(self._level_vars),
+            "unique_hits": self._unique_hits,
+            "unique_misses": self._unique_misses,
+            "ite_cache_size": len(self._ite_cache),
+            "ite_cache_hits": self._ite_hits,
+            "ite_cache_misses": self._ite_misses,
+            "and_exists_cache_size": len(self._ae_cache),
+            "and_exists_cache_hits": self._ae_hits,
+            "and_exists_cache_misses": self._ae_misses,
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+            "reorders": self._reorders,
+            "cache_ages": self._cache_ages,
+        }
 
     # ------------------------------------------------------------------
     # Bulk helpers

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bdd import BddManager
 from repro.logic import fastsim
-from repro.logic.bdd_bridge import net_bdds
+from repro.logic.bdd_bridge import build_bdds
 from repro.logic.netlist import Circuit
 from repro.logic.simulate import collect_activity, random_vectors
 
@@ -87,7 +87,10 @@ def transition_density(circuit: Circuit,
     densities: Dict[str, float] = {}
     probs = input_probs or {}
     in_densities = input_densities or {}
-    bdds = net_bdds(circuit)
+    # DFS-fanin static order: densities and Boolean-difference
+    # probabilities are order-invariant, but the per-net BDDs the
+    # propagation walks are much smaller under a sane order.
+    bdds = build_bdds(circuit, order="dfs")
 
     sources = list(circuit.inputs) + [l.output for l in circuit.latches]
     for s in sources:

@@ -62,16 +62,61 @@ def _apply_gate(mgr: BddManager, gate_type: str,
     return result
 
 
-def net_bdds(circuit: Circuit,
-             manager: Optional[BddManager] = None,
-             nets: Optional[Iterable[str]] = None) -> Dict[str, Bdd]:
+def static_order(circuit: Circuit) -> List[str]:
+    """DFS-fanin variable order for the circuit's BDD variables.
+
+    Depth-first from each primary output through the transitive fanin,
+    recording primary inputs / latch outputs in first-visit order
+    (Malik's classic heuristic): variables that interact through a
+    common cone land next to each other, which keeps structures like
+    adder and comparator chains linear where declaration order would
+    separate the interacting bits.  Sources never reached from an
+    output are appended in declaration order.
+    """
+    from repro.logic.netlist import Gate
+
+    sources = set(circuit.inputs) | {l.output for l in circuit.latches}
+    order: List[str] = []
+    seen: set = set()
+    for out in circuit.outputs:
+        stack = [out]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in sources:
+                order.append(net)
+                continue
+            driver = circuit._driver.get(net)
+            if isinstance(driver, Gate):
+                # Reverse so the gate's first input is visited first.
+                stack.extend(reversed(driver.inputs))
+    for name in list(circuit.inputs) + [l.output for l in circuit.latches]:
+        if name not in seen:
+            order.append(name)
+            seen.add(name)
+    return order
+
+
+def build_bdds(circuit: Circuit,
+               manager: Optional[BddManager] = None,
+               nets: Optional[Iterable[str]] = None,
+               order: str = "dfs") -> Dict[str, Bdd]:
     """BDD for every net (or the requested subset) of the circuit.
 
-    Primary inputs and latch outputs become BDD variables, registered
-    in circuit order (a reasonable static order for datapath-style
-    netlists).
+    ``order`` chooses the static variable order when the manager has no
+    variables registered yet: ``"dfs"`` (default) uses
+    :func:`static_order`; ``"declare"`` registers inputs and latch
+    outputs in circuit order.  Managers that already carry variables
+    keep their order untouched, so callers can pin one explicitly.
     """
     mgr = manager if manager is not None else BddManager()
+    if order not in ("dfs", "declare"):
+        raise ValueError(f"unknown static order {order!r}")
+    if order == "dfs" and not mgr.variables:
+        for name in static_order(circuit):
+            mgr.var(name)
     values: Dict[str, Bdd] = {}
     for name in circuit.inputs:
         values[name] = mgr.var(name)
@@ -83,6 +128,17 @@ def net_bdds(circuit: Circuit,
     if nets is not None:
         return {n: values[n] for n in nets}
     return values
+
+
+def net_bdds(circuit: Circuit,
+             manager: Optional[BddManager] = None,
+             nets: Optional[Iterable[str]] = None) -> Dict[str, Bdd]:
+    """BDD for every net, variables registered in circuit declaration
+    order (the historical default — node counts recorded by older
+    experiments depend on it; new code should prefer
+    :func:`build_bdds`, whose DFS-fanin order is usually far smaller).
+    """
+    return build_bdds(circuit, manager, nets, order="declare")
 
 
 def output_bdds(circuit: Circuit,

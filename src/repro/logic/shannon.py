@@ -46,18 +46,30 @@ def synthesize_bdd(functions: Dict[str, Bdd],
     const0 = circuit.add_gate("CONST0", [])
     const1 = circuit.add_gate("CONST1", [])
     net_of: Dict[int, str] = {0: const0, 1: const1}
+    level_names = mgr.variables
 
-    def build(node_id: int) -> str:
-        hit = net_of.get(node_id)
-        if hit is not None:
-            return hit
-        node = mgr._node(node_id)
-        low = build(node.low)
-        high = build(node.high)
-        select = mgr.variables[node.level]
-        out = circuit.add_gate("MUX2", [low, high, select])
-        net_of[node_id] = out
-        return out
+    def build(root: int) -> str:
+        # Explicit post-order stack: one MUX2 per node, children first.
+        # (Deep BDDs — one level per chained variable — would overflow
+        # Python's recursion limit with the naive recursive walk.)
+        stack = [root]
+        while stack:
+            node_id = stack[-1]
+            if node_id in net_of:
+                stack.pop()
+                continue
+            node = mgr._node(node_id)
+            if node.low in net_of and node.high in net_of:
+                select = level_names[node.level]
+                net_of[node_id] = circuit.add_gate(
+                    "MUX2", [net_of[node.low], net_of[node.high], select])
+                stack.pop()
+            else:
+                if node.high not in net_of:
+                    stack.append(node.high)
+                if node.low not in net_of:
+                    stack.append(node.low)
+        return net_of[root]
 
     for out_name, f in functions.items():
         root = build(f.root)

@@ -119,6 +119,8 @@ def find_guard_candidates(circuit: Circuit, min_cone: int = 3,
         if odc.is_false():
             continue
         cone_nets = {g.output for g in cone}
+        not_odc = ~odc
+        care_vars = not_odc.support()
         for s, s_bdd in bdds.items():
             if s == z or s in cone_nets or s_bdd.is_false() \
                     or s_bdd.is_true():
@@ -127,7 +129,10 @@ def find_guard_candidates(circuit: Circuit, min_cone: int = 3,
             if check_timing and arrivals.get(s, 0.0) >= t_earliest \
                     and s not in circuit.inputs:
                 continue
-            if (s_bdd & ~odc).is_false():     # s => ODC_z
+            # s => ODC_z  iff  exists V (s & ~ODC_z) is empty; the fused
+            # and_exists never builds the product and bails out on the
+            # first satisfying branch it meets.
+            if s_bdd.and_exists(not_odc, care_vars).is_false():
                 results.append(GuardCandidate(
                     guard=s, guarded=z, cone_gates=len(cone),
                     guard_probability=s_bdd.probability()))

@@ -46,22 +46,30 @@ class PredictorPair:
 
 def derive_predictors(circuit: Circuit, output: str,
                       subset: Sequence[str]) -> PredictorPair:
-    """Exact g1/g0 for a given predictor input subset via BDDs."""
+    """Exact g1/g0 for a given predictor input subset via BDDs.
+
+    The universal quantifications ride the manager's fused
+    ``and_exists`` engine through the duality
+    ``forall V f = ~exists V ~f``: one traversal each, no intermediate
+    conjunction, early exit on TRUE branches.
+    """
     mgr = BddManager()
     f = net_bdds(circuit, mgr, nets=[output])[output]
     others = [n for n in circuit.inputs if n not in subset]
-    g1 = f.forall(others)
-    g0 = (~f).forall(others)
+    g1 = ~(~f).and_exists(mgr.true, others)
+    g0 = ~f.and_exists(mgr.true, others)
 
     subset = list(subset)
     g1_onset: List[int] = []
     g0_onset: List[int] = []
+    # support(g1/g0) is a subset of ``subset``, so a plain evaluate
+    # walk suffices — no cofactor BDDs are built per minterm.
     for m in range(1 << len(subset)):
         assignment = {name: bool((m >> i) & 1)
                       for i, name in enumerate(subset)}
-        if g1.restrict(assignment).is_true():
+        if g1.evaluate(assignment):
             g1_onset.append(m)
-        if g0.restrict(assignment).is_true():
+        if g0.evaluate(assignment):
             g0_onset.append(m)
     coverage = (g1 | g0).probability()
     return PredictorPair(subset, g1_onset, g0_onset, coverage)

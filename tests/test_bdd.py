@@ -164,6 +164,106 @@ class TestSatisfy:
         assert f.evaluate({"a": True, "b": False})
 
 
+class TestEqualitySemantics:
+    def test_eq_non_bdd_not_implemented(self, mgr):
+        a = mgr.var("a")
+        assert a.__eq__(42) is NotImplemented
+        assert a.__eq__("a") is NotImplemented
+        assert a.__eq__(None) is NotImplemented
+
+    def test_eq_ne_consistent(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert (a == b) is not (a != b)
+        assert (a == a) is not (a != a)
+        # Python falls back to identity when both sides return
+        # NotImplemented: a Bdd never equals a foreign object, and
+        # != must answer the exact opposite.
+        assert (a == object()) is False
+        assert (a != object()) is True
+
+    def test_eq_across_managers_is_false_not_error(self, mgr):
+        other = BddManager()
+        assert (mgr.var("a") == other.var("a")) is False
+        assert (mgr.var("a") != other.var("a")) is True
+
+    def test_hash_consistent_with_eq(self, mgr):
+        a = mgr.var("a")
+        same = mgr.var("a")
+        assert hash(a) == hash(same)
+        assert len({a, same}) == 1
+
+
+class TestCornerCases:
+    """satisfy_all / compose / exists on degenerate arguments."""
+
+    def test_satisfy_all_terminals(self, mgr):
+        assert list(mgr.false.satisfy_all()) == []
+        assert list(mgr.true.satisfy_all()) == [{}]
+
+    def test_satisfy_all_covers_exact_minterms(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = (a & b) | (~a & c)
+        covered = 0
+        for sol in f.satisfy_all():
+            free = 3 - len(sol)
+            covered += 1 << free
+            full = {"a": False, "b": False, "c": False}
+            full.update(sol)
+            assert f.evaluate(full)
+        assert covered == f.sat_count(["a", "b", "c"])
+
+    def test_compose_terminal_root(self, mgr):
+        a, b = mgr.declare("a", "b")
+        assert mgr.true.compose("a", b).is_true()
+        assert mgr.false.compose("a", b).is_false()
+
+    def test_compose_variable_absent_from_support(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a & b
+        assert f.compose("c", a | b) == f
+
+    def test_compose_with_terminal_replacement(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a ^ b
+        assert f.compose("a", mgr.true) == ~b
+        assert f.compose("a", mgr.false) == b
+
+    def test_exists_terminal_root(self, mgr):
+        mgr.declare("a", "b")
+        assert mgr.true.exists(["a"]).is_true()
+        assert mgr.false.exists(["a", "b"]).is_false()
+        assert mgr.true.forall(["a"]).is_true()
+        assert mgr.false.forall(["a"]).is_false()
+
+    def test_exists_variable_absent_from_support(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a & b
+        assert f.exists(["c"]) == f
+        assert f.forall(["c"]) == f
+        assert f.exists([]) == f
+
+    def test_exists_full_support(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = (a & b) | c
+        assert f.exists(["a", "b", "c"]).is_true()
+        assert f.forall(["a", "b", "c"]).is_false()
+        assert (a & ~a).exists(["a"]).is_false()
+
+    def test_and_exists_matches_composition(self, mgr):
+        a, b, c = mgr.declare("a", "b", "c")
+        f = a | b
+        g = b | c
+        for q in ([], ["a"], ["b"], ["a", "b"], ["a", "b", "c"]):
+            assert f.and_exists(g, q) == (f & g).exists(q)
+
+    def test_and_exists_terminal_operands(self, mgr):
+        a, b = mgr.declare("a", "b")
+        f = a & b
+        assert f.and_exists(mgr.true, ["a"]) == f.exists(["a"])
+        assert f.and_exists(mgr.false, ["a"]).is_false()
+        assert mgr.true.and_exists(mgr.true, ["a"]).is_true()
+
+
 @st.composite
 def _random_expr(draw, names=("a", "b", "c", "d")):
     """A random Boolean expression tree as a nested tuple."""
