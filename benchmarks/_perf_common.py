@@ -6,14 +6,27 @@ schema: a flat object keyed by experiment name, each entry carrying the
 workload description plus timings/speedups.  Keeping the writer here
 means the files stay diffable against each other and any future perf
 bench inherits the format for free.
+
+The orchestrator (``python -m repro bench``) runs benches
+concurrently, so :func:`record` must survive parallel writers to the
+same file: merges are serialized through a sidecar lockfile
+(``O_CREAT | O_EXCL``, the portable primitive) and the updated JSON is
+published atomically via a temp file + ``os.replace`` — a reader never
+sees a half-written file, and two writers never drop each other's
+keys.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Give up on a stuck lock after this long; a crashed writer's stale
+#: lockfile is broken rather than deadlocking every future bench.
+_LOCK_TIMEOUT_S = 30.0
 
 
 def measure(fn: Callable[[], object], repeats: int = 1) -> float:
@@ -26,13 +39,54 @@ def measure(fn: Callable[[], object], repeats: int = 1) -> float:
     return best
 
 
-def record(path: Path, key: str, entry: Dict) -> None:
-    """Merge ``entry`` under ``key`` into the JSON results file."""
-    data = {}
-    if path.exists():
+class _FileLock:
+    """Minimal cross-process lockfile (create-exclusive + retry)."""
+
+    def __init__(self, path: Path,
+                 timeout: float = _LOCK_TIMEOUT_S) -> None:
+        self.path = path
+        self.timeout = timeout
+
+    def __enter__(self) -> "_FileLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(str(self.path),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                return self
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    # Stale lock (crashed writer): break it and go on.
+                    try:
+                        os.unlink(str(self.path))
+                    except FileNotFoundError:
+                        pass
+                    deadline = time.monotonic() + self.timeout
+                time.sleep(0.05)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
         try:
-            data = json.loads(path.read_text())
-        except ValueError:
-            data = {}
-    data[key] = entry
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+            os.unlink(str(self.path))
+        except FileNotFoundError:
+            pass
+
+
+def record(path: Path, key: str, entry: Dict) -> None:
+    """Merge ``entry`` under ``key`` into the JSON results file.
+
+    Safe against concurrent writers: the read-merge-write cycle runs
+    under a lockfile and the result lands via ``os.replace``.
+    """
+    with _FileLock(path.with_name(path.name + ".lock")):
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except ValueError:
+                data = {}
+        data[key] = entry
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)

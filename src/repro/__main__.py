@@ -4,74 +4,61 @@ Commands:
   info          library overview: subsystems, technique coverage
   demo          run a 30-second cross-level estimation demo
   experiments   list the paper-reproduction benches and how to run them
+  bench         run the benches in parallel; aggregate BENCH_ALL.json
+
+``info`` and ``experiments`` accept ``--json`` for machine-readable
+output; ``bench`` forwards to :mod:`repro.obs.runner` (see
+``python -m repro bench --help``).
 """
 
 from __future__ import annotations
 
+import json
 import sys
-
-_SUBSYSTEMS = [
-    ("repro.bdd", "ROBDD package (ite/quantify/compose/probability)"),
-    ("repro.twolevel", "Quine-McCluskey + espresso-style minimization"),
-    ("repro.logic", "gate netlists, simulators, synthesis, generators"),
-    ("repro.fsm", "STGs, Markov analysis, encoding, symbolic traversal"),
-    ("repro.rtl", "word streams, characterized components, RTL sim"),
-    ("repro.cdfg", "dataflow graphs, scheduling, datapath synthesis"),
-    ("repro.software", "energy-annotated ISA simulator"),
-    ("repro.estimation", "Section II: all surveyed estimation models"),
-    ("repro.optimization", "Section III: all surveyed optimizations"),
-    ("repro.core", "PowerEstimator facade + design-improvement loop"),
-]
-
-_EXPERIMENTS = [
-    ("T1", "Table I FIR capacitance", "bench_table1_fir.py"),
-    ("F2", "memory-access minimization", "bench_fig2_memory.py"),
-    ("F3", "static shutdown timeout", "bench_fig3_shutdown.py"),
-    ("F45", "polynomial restructuring", "bench_fig45_polynomial.py"),
-    ("F6", "precomputation", "bench_fig6_precompute.py"),
-    ("F7", "gated clocks", "bench_fig7_gated_clock.py"),
-    ("F8", "guarded evaluation", "bench_fig8_guarded.py"),
-    ("F9", "retiming", "bench_fig9_retiming.py"),
-    ("C1", "profile-driven program synthesis",
-     "bench_c1_profile_synthesis.py"),
-    ("C2", "entropic models", "bench_c2_entropy.py"),
-    ("C3", "Tyagi FSM bound", "bench_c3_tyagi.py"),
-    ("C4", "complexity models", "bench_c4_complexity.py"),
-    ("C5", "macro-model ladder", "bench_c5_macromodel.py"),
-    ("C6", "sampling cosimulation", "bench_c6_sampling.py"),
-    ("C7", "predictive shutdown", "bench_c7_predictive.py"),
-    ("C8", "activity-aware allocation", "bench_c8_allocation.py"),
-    ("C9", "multiple supply voltages", "bench_c9_multivoltage.py"),
-    ("C10", "bus encoding", "bench_c10_bus_encoding.py"),
-    ("C11", "low-power state encoding", "bench_c11_fsm_encoding.py"),
-    ("C12", "low-power scheduling", "bench_c12_scheduling.py"),
-    ("C13", "cold scheduling", "bench_c13_cold_scheduling.py"),
-]
+from typing import List, Optional, Sequence
 
 
-def cmd_info() -> None:
+def cmd_info(args: Sequence[str]) -> int:
     import repro
+    from repro.experiments import SUBSYSTEMS
 
+    if "--json" in args:
+        print(json.dumps({
+            "package": "repro",
+            "version": repro.__version__,
+            "paper": "Macii/Pedram/Somenzi, IEEE TCAD 17(11), 1998",
+            "subsystems": SUBSYSTEMS,
+        }, indent=2))
+        return 0
     print(f"repro {repro.__version__} -- high-level power modeling, "
           "estimation, and optimization")
     print("(reproduction of Macii/Pedram/Somenzi, IEEE TCAD 17(11), "
           "1998)")
     print()
-    for module, description in _SUBSYSTEMS:
-        print(f"  {module:20s} {description}")
+    for entry in SUBSYSTEMS:
+        print(f"  {entry['module']:20s} {entry['description']}")
     print()
     print("docs: README.md, DESIGN.md (system inventory), "
           "EXPERIMENTS.md (paper vs measured)")
+    return 0
 
 
-def cmd_experiments() -> None:
-    print("paper-reproduction benches (run with "
-          "`pytest benchmarks/<file> --benchmark-only -s`):")
-    for exp_id, title, bench in _EXPERIMENTS:
-        print(f"  {exp_id:4s} {title:36s} benchmarks/{bench}")
+def cmd_experiments(args: Sequence[str]) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    if "--json" in args:
+        print(json.dumps([exp.to_dict() for exp in EXPERIMENTS],
+                         indent=2))
+        return 0
+    print("paper-reproduction benches (run all with `python -m repro "
+          "bench`,")
+    print("or one with `pytest benchmarks/<file> --benchmark-only -s`):")
+    for exp in EXPERIMENTS:
+        print(f"  {exp.id:4s} {exp.title:42s} benchmarks/{exp.bench}")
+    return 0
 
 
-def cmd_demo() -> None:
+def cmd_demo(args: Sequence[str]) -> int:
     from repro import PowerEstimator
     from repro.logic.generators import ripple_carry_adder
     from repro.logic.simulate import random_vectors
@@ -91,22 +78,29 @@ def cmd_demo() -> None:
         print(f"  {label:26s} power = {result.power:9.3f}  "
               f"(cost {result.cost:.0f})")
     print("see examples/ for the full walkthroughs")
+    return 0
 
 
-def main(argv=None) -> int:
+def cmd_bench(args: Sequence[str]) -> int:
+    from repro.obs.runner import main as bench_main
+
+    return bench_main(list(args))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "info"
     handlers = {
         "info": cmd_info,
         "demo": cmd_demo,
         "experiments": cmd_experiments,
+        "bench": cmd_bench,
     }
     handler = handlers.get(command)
     if handler is None:
         print(__doc__)
         return 2
-    handler()
-    return 0
+    return handler(args[1:])
 
 
 if __name__ == "__main__":

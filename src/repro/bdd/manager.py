@@ -43,6 +43,8 @@ import weakref
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple)
 
+from repro import obs
+
 
 class BddNode:
     """Internal BDD node: decision variable level plus two children."""
@@ -795,6 +797,12 @@ class BddManager:
         computed tables, and remaps every live :class:`Bdd` handle in
         place.  Returns the number of nodes reclaimed.
         """
+        with obs.span("bdd.gc") as sp:
+            reclaimed = self._gc_impl()
+            sp.add("reclaimed", reclaimed)
+        return reclaimed
+
+    def _gc_impl(self) -> int:
         handles = self._iter_handles()
         nodes = self._nodes
         mark: Set[int] = set()
@@ -949,6 +957,12 @@ class BddManager:
         ``max_growth`` bounds how far a sift may inflate the DAG before
         the direction is abandoned.
         """
+        with obs.span("bdd.reorder", method=method) as sp:
+            saved = self._reorder_impl(method, max_growth)
+            sp.add("nodes_saved", saved)
+        return saved
+
+    def _reorder_impl(self, method: str, max_growth: float) -> int:
         if method not in ("sifting", "sift"):
             raise ValueError(f"unknown reorder method {method!r}")
         if len(self._level_vars) < 2:
@@ -1010,8 +1024,11 @@ class BddManager:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Counters for observability; all keys are flat ints so the
-        dict serializes straight into bench JSON."""
-        return {
+        dict serializes straight into bench JSON.  When the
+        :mod:`repro.obs` subsystem is enabled, every counter is also
+        published to the process-wide metrics registry as a
+        ``bdd.<key>`` gauge."""
+        stats = {
             "nodes_total": len(self._nodes),
             "nodes_live": self._live_size(self._external_roots()) + 2,
             "nodes_peak": self._peak_nodes,
@@ -1029,6 +1046,10 @@ class BddManager:
             "reorders": self._reorders,
             "cache_ages": self._cache_ages,
         }
+        if obs.enabled():
+            for key, value in stats.items():
+                obs.gauge(f"bdd.{key}", value)
+        return stats
 
     # ------------------------------------------------------------------
     # Bulk helpers

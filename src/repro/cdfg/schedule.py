@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.cdfg.graph import Cdfg, CdfgNode, UNIT_DELAYS
 
 
@@ -127,6 +128,16 @@ def list_schedule(cdfg: Cdfg, resources: Dict[str, int],
     a custom priority map lets low-power variants reorder ties
     (higher value schedules first).
     """
+    with obs.span("schedule.list") as sp:
+        schedule = _list_schedule_impl(cdfg, resources, delays, priority)
+        sp.add("operations", len(schedule.steps))
+        sp.set("latency", schedule.latency)
+    return schedule
+
+
+def _list_schedule_impl(cdfg: Cdfg, resources: Dict[str, int],
+                        delays: Optional[Dict[str, int]],
+                        priority: Optional[Dict[int, float]]) -> Schedule:
     delays = dict(delays or UNIT_DELAYS)
     ops = cdfg.operations()
     if priority is None:
@@ -200,6 +211,15 @@ def force_directed_schedule(cdfg: Cdfg, latency: Optional[int] = None,
     by recomputing time frames after each commitment -- sufficient for
     the graph sizes used here).
     """
+    with obs.span("schedule.force_directed") as sp:
+        schedule = _force_directed_impl(cdfg, latency, delays)
+        sp.add("operations", len(schedule.steps))
+        sp.set("latency", schedule.latency)
+    return schedule
+
+
+def _force_directed_impl(cdfg: Cdfg, latency: Optional[int],
+                         delays: Optional[Dict[str, int]]) -> Schedule:
     delays = dict(delays or UNIT_DELAYS)
     if latency is None:
         latency = asap(cdfg, delays).latency

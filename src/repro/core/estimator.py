@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.logic.netlist import Circuit
 from repro.logic.simulate import Vector
 
@@ -40,6 +41,33 @@ class EstimateResult:
                 f"level={self.level!r})")
 
 
+def _traced(method):
+    """Wrap an estimator method in an ``estimator.<name>`` span.
+
+    The span carries the technique/level/power of the produced
+    :class:`EstimateResult` and bumps a per-level call counter; with
+    the obs subsystem disabled the original method is called directly.
+    """
+    import functools
+
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if not obs.enabled():
+            return method(self, *args, **kwargs)
+        with obs.span(f"estimator.{name}") as sp:
+            result = method(self, *args, **kwargs)
+            sp.set("technique", result.technique)
+            sp.set("level", result.level)
+            sp.set("power", result.power)
+            sp.add("cost", result.cost)
+        obs.inc(f"estimator.calls.{result.level}")
+        return result
+
+    return wrapper
+
+
 class PowerEstimator:
     """Facade over the estimation techniques of Section II."""
 
@@ -54,6 +82,7 @@ class PowerEstimator:
     # ------------------------------------------------------------------
     # Software level (Section II-A)
     # ------------------------------------------------------------------
+    @_traced
     def software(self, program, model=None) -> EstimateResult:
         """Instruction-level estimate of a program's energy."""
         from repro.estimation.software_power import TiwariModel
@@ -69,6 +98,7 @@ class PowerEstimator:
     # ------------------------------------------------------------------
     # Behavioral level (Section II-B)
     # ------------------------------------------------------------------
+    @_traced
     def behavioral(self, cdfg, technique: str = "quick-synthesis",
                    **kwargs) -> EstimateResult:
         if technique == "quick-synthesis":
@@ -89,6 +119,7 @@ class PowerEstimator:
             return EstimateResult(power, technique, "behavioral", cost=1.0)
         raise ValueError(f"unknown behavioral technique {technique!r}")
 
+    @_traced
     def entropic(self, circuit: Circuit, vectors: Sequence[Vector],
                  model: str = "marculescu") -> EstimateResult:
         """Information-theoretic estimate (Section II-B1)."""
@@ -103,6 +134,7 @@ class PowerEstimator:
     # ------------------------------------------------------------------
     # RT level (Section II-C)
     # ------------------------------------------------------------------
+    @_traced
     def rtl(self, component, streams, model=None,
             evaluation: str = "census", **kwargs) -> EstimateResult:
         """Macro-model estimate of an RTL component under stimulus."""
@@ -129,6 +161,7 @@ class PowerEstimator:
     # ------------------------------------------------------------------
     # Gate level (reference techniques)
     # ------------------------------------------------------------------
+    @_traced
     def gate(self, circuit: Circuit,
              vectors: Optional[Sequence[Vector]] = None,
              technique: str = "simulation",

@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.logic.netlist import Circuit, Gate, Latch
 from repro.logic.simulate import ActivityReport, Vector
 
@@ -49,6 +50,12 @@ class EventSimulator:
         self.ones: Dict[str, int] = {n: 0 for n in self.circuit.nets}
         self.switched_capacitance = 0.0
         self.cycles = 0
+        #: Applied (value-changing) events since reset, including the
+        #: settling of the initial cycle.
+        self.events = 0
+        #: Transitions beyond each net's settled change per cycle —
+        #: the simulator's own glitch tally (transport-delay model).
+        self.glitches = 0
         self._settled_once = False
         self._clocked_latch_cycles = 0
 
@@ -56,12 +63,21 @@ class EventSimulator:
     def run(self, vectors: Sequence[Vector]) -> ActivityReport:
         from repro.logic import gates as gatelib
 
-        for vec in vectors:
-            self.step(vec)
-        clock_cap = 0.0
-        if self.circuit.latches and self.cycles > 1:
-            clock_cap = (2.0 * gatelib.DFF_CLOCK_CAP
-                         * self._clocked_latch_cycles)
+        with obs.span("eventsim.run", circuit=self.circuit.name) as sp:
+            events_before = self.events
+            glitches_before = self.glitches
+            for vec in vectors:
+                self.step(vec)
+            clock_cap = 0.0
+            if self.circuit.latches and self.cycles > 1:
+                clock_cap = (2.0 * gatelib.DFF_CLOCK_CAP
+                             * self._clocked_latch_cycles)
+            sp.add("cycles", len(vectors))
+            sp.add("events", self.events - events_before)
+            sp.add("glitches", self.glitches - glitches_before)
+        if obs.enabled():
+            obs.inc("eventsim.events", self.events - events_before)
+            obs.inc("eventsim.glitches", self.glitches - glitches_before)
         return ActivityReport(
             cycles=self.cycles,
             toggles=dict(self.toggles),
@@ -93,14 +109,22 @@ class EventSimulator:
             if self._values[latch.output] != self._state[latch.output]:
                 schedule(0.0, latch.output, self._state[latch.output])
 
+        step_first: Dict[str, int] = {}    # value at cycle start
+        step_counts: Dict[str, int] = {}   # transitions this cycle
         while queue:
             time, _seq, net, value = heapq.heappop(queue)
             if self._values[net] == value:
                 continue
-            self._values[net] = value
             if count_transitions:
                 self.toggles[net] += 1
                 self.switched_capacitance += self._caps[net]
+                if net in step_counts:
+                    step_counts[net] += 1
+                else:
+                    step_first[net] = self._values[net]
+                    step_counts[net] = 1
+            self._values[net] = value
+            self.events += 1
             for consumer, _pin in self._fanout.get(net, []):
                 if isinstance(consumer, Gate):
                     new = consumer.spec.evaluate(
@@ -124,6 +148,9 @@ class EventSimulator:
         for net in self.ones:
             if self._values[net]:
                 self.ones[net] += 1
+        for net, count in step_counts.items():
+            settled = 1 if self._values[net] != step_first[net] else 0
+            self.glitches += count - settled
         self._settled_once = True
         return dict(self._values)
 

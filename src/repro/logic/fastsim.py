@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
     Tuple, Union
 
+from repro import obs
 from repro.logic import gates as gatelib
 from repro.logic.gates import GateSpec
 from repro.logic.netlist import Circuit
@@ -270,23 +271,28 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     if isinstance(plan, CompiledCircuit) and plan.version == version:
         return plan
 
-    try:
-        order = circuit.topological_gates()
-    except ValueError as exc:
-        raise CompileError(str(exc)) from exc
-    nets = circuit.nets
-    slot = {net: i for i, net in enumerate(nets)}
+    with obs.span("fastsim.compile", circuit=circuit.name) as sp:
+        try:
+            order = circuit.topological_gates()
+        except ValueError as exc:
+            raise CompileError(str(exc)) from exc
+        nets = circuit.nets
+        slot = {net: i for i, net in enumerate(nets)}
 
-    lines = ["def __fastsim_eval(V, M):"]
-    for gate in order:
-        ins = [f"V[{slot[n]}]" for n in gate.inputs]
-        lines.append(f"    V[{slot[gate.output]}] = "
-                     f"{_expression(gate.spec, ins)}")
-    if len(lines) == 1:
-        lines.append("    pass")
-    namespace: Dict[str, object] = {}
-    exec(compile("\n".join(lines), f"<fastsim:{circuit.name}>", "exec"),
-         namespace)
+        lines = ["def __fastsim_eval(V, M):"]
+        for gate in order:
+            ins = [f"V[{slot[n]}]" for n in gate.inputs]
+            lines.append(f"    V[{slot[gate.output]}] = "
+                         f"{_expression(gate.spec, ins)}")
+        if len(lines) == 1:
+            lines.append("    pass")
+        namespace: Dict[str, object] = {}
+        exec(compile("\n".join(lines), f"<fastsim:{circuit.name}>",
+                     "exec"),
+             namespace)
+        sp.set("gates", len(order))
+        sp.set("nets", len(nets))
+        obs.inc("fastsim.compiles")
 
     caps_map = circuit.load_capacitances()
     plan = CompiledCircuit(
@@ -417,52 +423,65 @@ def collect_activity(circuit: Circuit, vectors: Stimulus,
     capacitance, including the cycles-vs-boundaries convention pinned
     in the report's docstring.
     """
-    plan = compile_circuit(circuit)
-    in_words, n = _pack_inputs(circuit, vectors)
+    sp = obs.span("fastsim.collect_activity", circuit=circuit.name)
+    with sp:
+        plan = compile_circuit(circuit)
+        in_words, n = _pack_inputs(circuit, vectors)
 
-    n_slots = plan.n_slots
-    toggles = [0] * n_slots
-    ones = [0] * n_slots
-    prev = [0] * n_slots
-    enabled_latch_cycles = 0
-    clocked_plain = sum(1 for lp in plan.latches
-                        if lp.clocked and lp.enable_slot < 0)
-    clocked_enable_slots = [lp.enable_slot for lp in plan.latches
-                            if lp.clocked and lp.enable_slot >= 0]
-    first = True
-    for V, base, c, mask in _iter_chunks(plan, in_words, n, initial_state):
-        first_mask = mask ^ 1 if first else mask
+        n_slots = plan.n_slots
+        toggles = [0] * n_slots
+        ones = [0] * n_slots
+        prev = [0] * n_slots
+        enabled_latch_cycles = 0
+        clocked_plain = sum(1 for lp in plan.latches
+                            if lp.clocked and lp.enable_slot < 0)
+        clocked_enable_slots = [lp.enable_slot for lp in plan.latches
+                                if lp.clocked and lp.enable_slot >= 0]
+        first = True
+        n_chunks = 0
+        for V, base, c, mask in _iter_chunks(plan, in_words, n,
+                                             initial_state):
+            n_chunks += 1
+            first_mask = mask ^ 1 if first else mask
+            for i in range(n_slots):
+                w = V[i] & mask
+                ones[i] += w.bit_count()
+                d = (w ^ ((w << 1) | prev[i])) & first_mask
+                toggles[i] += d.bit_count()
+                prev[i] = (w >> (c - 1)) & 1
+            if clocked_plain or clocked_enable_slots:
+                # The clock toggles twice per counted cycle (all but
+                # the last); load-enable latches sit behind a clock
+                # gate and only see the clock when enabled.
+                cmask = mask if base + c < n else mask >> 1
+                enabled_latch_cycles += clocked_plain * cmask.bit_count()
+                for es in clocked_enable_slots:
+                    enabled_latch_cycles += (V[es] & cmask).bit_count()
+            first = False
+
+        switched = 0.0
         for i in range(n_slots):
-            w = V[i] & mask
-            ones[i] += w.bit_count()
-            d = (w ^ ((w << 1) | prev[i])) & first_mask
-            toggles[i] += d.bit_count()
-            prev[i] = (w >> (c - 1)) & 1
-        if clocked_plain or clocked_enable_slots:
-            # The clock toggles twice per counted cycle (all but the
-            # last); load-enable latches sit behind a clock gate and
-            # only see the clock when enabled.
-            cmask = mask if base + c < n else mask >> 1
-            enabled_latch_cycles += clocked_plain * cmask.bit_count()
-            for es in clocked_enable_slots:
-                enabled_latch_cycles += (V[es] & cmask).bit_count()
-        first = False
-
-    switched = 0.0
-    for i in range(n_slots):
-        t = toggles[i]
-        if t:
-            switched += plan.caps[i] * t
-    clock_cap = 0.0
-    if circuit.latches and n > 1:
-        clock_cap = 2.0 * gatelib.DFF_CLOCK_CAP * enabled_latch_cycles
-    return ActivityReport(
-        cycles=n,
-        toggles=dict(zip(plan.nets, toggles)),
-        ones=dict(zip(plan.nets, ones)),
-        switched_capacitance=switched,
-        clock_capacitance=clock_cap,
-    )
+            t = toggles[i]
+            if t:
+                switched += plan.caps[i] * t
+        clock_cap = 0.0
+        if circuit.latches and n > 1:
+            clock_cap = 2.0 * gatelib.DFF_CLOCK_CAP * enabled_latch_cycles
+        report = ActivityReport(
+            cycles=n,
+            toggles=dict(zip(plan.nets, toggles)),
+            ones=dict(zip(plan.nets, ones)),
+            switched_capacitance=switched,
+            clock_capacitance=clock_cap,
+        )
+        sp.add("vectors", n)
+        sp.add("chunks", n_chunks)
+        sp.set("gates", circuit.gate_count())
+    if obs.enabled():
+        obs.inc("fastsim.vectors", n)
+        if sp.duration > 0:
+            obs.gauge("fastsim.vectors_per_s", round(n / sp.duration, 1))
+    return report
 
 
 def net_words(circuit: Circuit, vectors: Stimulus,

@@ -1,0 +1,140 @@
+"""repro.obs — observability and experiment orchestration.
+
+The cross-cutting measurement layer of the framework.  Three parts:
+
+- **tracing** (:mod:`repro.obs.trace`): nested wall-time spans with
+  per-span counters/attributes, a no-op singleton when disabled;
+- **metrics** (:mod:`repro.obs.metrics`): process-wide counters,
+  gauges and timing histograms;
+- **orchestration** (:mod:`repro.obs.runner`): the parallel bench
+  sweep behind ``python -m repro bench`` that aggregates results and
+  telemetry into ``BENCH_ALL.json`` and gates perf regressions.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    with obs.span("fastsim.collect_activity", gates=n_gates) as sp:
+        ...
+        sp.add("vectors", n)
+
+Everything is off by default and costs one global check per phase.
+Switch on programmatically (``obs.enable()``) or from the environment:
+``REPRO_OBS=1`` enables tracing at import, ``REPRO_OBS_EXPORT=path``
+additionally writes the full telemetry export (manifest + metrics +
+span trees) to ``path`` at interpreter exit — which is how the bench
+orchestrator harvests telemetry from its worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.manifest import run_manifest
+from repro.obs.metrics import Histogram, MetricsRegistry, registry
+from repro.obs.trace import NULL_SPAN, Span, span
+
+#: Version tag of the telemetry export schema.
+SCHEMA = "repro.obs/1"
+
+__all__ = [
+    "span", "Span", "NULL_SPAN",
+    "enable", "disable", "enabled", "reset",
+    "inc", "gauge", "observe",
+    "registry", "MetricsRegistry", "Histogram",
+    "run_manifest", "export_state", "write_export", "load_export",
+    "SCHEMA",
+]
+
+# Re-exported switches -------------------------------------------------
+enable = _trace.enable
+disable = _trace.disable
+enabled = _trace.enabled
+
+inc = _metrics.inc
+gauge = _metrics.gauge
+observe = _metrics.observe
+
+
+def reset() -> None:
+    """Clear all collected spans and metrics (keeps the on/off state)."""
+    _trace.reset()
+    registry.reset()
+
+
+def finished_spans():
+    """Finished root spans, oldest first."""
+    return _trace.finished_spans()
+
+
+def span_names():
+    """Flat dotted names of all finished spans (handy in tests)."""
+    return _trace.span_tree_names()
+
+
+# ----------------------------------------------------------------------
+# Export / import
+# ----------------------------------------------------------------------
+def export_state(seed: Optional[int] = None,
+                 extra_manifest: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """The full telemetry export: manifest + metrics + span trees."""
+    return {
+        "schema": SCHEMA,
+        "manifest": run_manifest(seed=seed, extra=extra_manifest),
+        "metrics": registry.snapshot(),
+        "spans": [s.to_dict() for s in _trace.finished_spans()],
+    }
+
+
+def write_export(path: str, seed: Optional[int] = None) -> Dict[str, Any]:
+    """Serialize :func:`export_state` to ``path``; returns the dict."""
+    state = export_state(seed=seed)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(state, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return state
+
+
+def load_export(path: str) -> Dict[str, Any]:
+    """Load and validate a telemetry export written by ``write_export``."""
+    with open(path) as fh:
+        state = json.load(fh)
+    if not isinstance(state, dict) or state.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SCHEMA} telemetry export "
+            f"(schema={state.get('schema') if isinstance(state, dict) else None!r})")
+    for key in ("manifest", "metrics", "spans"):
+        if key not in state:
+            raise ValueError(f"{path}: export missing {key!r}")
+    return state
+
+
+# ----------------------------------------------------------------------
+# Environment activation (how bench workers report back)
+# ----------------------------------------------------------------------
+def _activate_from_env() -> None:
+    if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+        enable()
+    export_path = os.environ.get("REPRO_OBS_EXPORT")
+    if export_path:
+        enable()
+        import atexit
+
+        atexit.register(_export_at_exit, export_path)
+
+
+def _export_at_exit(path: str) -> None:   # pragma: no cover - atexit
+    try:
+        write_export(path)
+    except Exception:
+        pass                # never turn a passing bench into a failure
+
+
+_activate_from_env()

@@ -1,0 +1,42 @@
+"""Per-run manifest: what produced these numbers.
+
+Every exported telemetry file and every ``BENCH_ALL.json`` carries a
+manifest so results stay interpretable after the fact — the paper's
+tables are only meaningful next to the machine and configuration that
+measured them.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["run_manifest"]
+
+
+def run_manifest(seed: Optional[int] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Describe this run: package version, platform, seed, timestamp."""
+    try:
+        import repro
+        version = repro.__version__
+    except Exception:            # pragma: no cover - broken install only
+        version = "unknown"
+    manifest: Dict[str, Any] = {
+        "package": "repro",
+        "version": version,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+        "timestamp": time.time(),
+        "seed": seed,
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest

@@ -1,0 +1,144 @@
+"""Metrics layer: counters, gauges, and timing histograms.
+
+A single process-wide :class:`MetricsRegistry` collects named
+measurements from the instrumented engines:
+
+- **counters** accumulate (events processed, vectors simulated),
+- **gauges** hold the latest value (live BDD nodes, cache hit rate),
+- **histograms** record distributions of timings (or any positive
+  quantity) in base-2 buckets plus exact count/total/min/max.
+
+All mutators are no-ops while the subsystem is disabled (same switch
+as :mod:`repro.obs.trace`), and thread-safe when enabled.  Hot loops
+should *not* call ``inc`` per iteration — count locally and report the
+total once per phase; the registry is for phase-grained telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+from repro.obs import trace
+
+__all__ = ["Histogram", "MetricsRegistry", "registry",
+           "inc", "gauge", "observe"]
+
+
+class Histogram:
+    """Base-2 bucketed distribution with exact summary statistics.
+
+    Bucket ``b`` counts observations in ``(2**(b-1), 2**b]`` (bucket
+    keys are the ceil of log2); zero and negative observations land in
+    bucket ``"-inf"``.  Exposes ``count/total/min/max/mean``.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = "-inf" if value <= 0 else str(math.ceil(math.log2(value)))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": dict(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe store for counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- mutators (no-op when the subsystem is disabled) ---------------
+    def inc(self, name: str, value: float = 1) -> None:
+        if not trace.enabled():
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not trace.enabled():
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not trace.enabled():
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -- readers -------------------------------------------------------
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: h.to_dict()
+                               for name, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry the instrumented engines report into.
+registry = MetricsRegistry()
+
+
+def inc(name: str, value: float = 1) -> None:
+    registry.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    registry.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    registry.observe(name, value)

@@ -1,0 +1,190 @@
+"""Tracing core: nested wall-time spans with counters and attributes.
+
+The design target is the instrumentation layer of a measurement-driven
+power flow (HL-Pow-style feature collection): every engine opens spans
+around its phases, attaches whatever counters describe the work done
+(vectors simulated, events processed, BDD nodes touched), and the
+orchestrator harvests the tree afterwards.
+
+Principles:
+
+- **Zero overhead when disabled.**  ``span(...)`` returns a shared
+  no-op singleton unless tracing was explicitly enabled, so the cost
+  in production paths is one module-global check per *phase* (never
+  per vector/event/node — hot loops count locally and attach totals
+  once at the end).
+- **Nesting via a per-thread stack.**  ``with span("outer"):`` then
+  ``with span("inner"):`` produces a tree; each thread builds its own
+  tree so no lock is taken while a span is open.
+- **Thread-safe registry.**  Only *finished root* spans touch the
+  global registry, under a lock; readers get snapshots.
+- **Exception safe.**  A span closed by an exception still records
+  its duration, marks ``error`` with the exception repr, and
+  propagates the exception unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span", "NULL_SPAN", "span", "enable", "disable", "enabled",
+    "reset", "finished_spans", "span_tree_names",
+]
+
+
+class Span:
+    """One timed region.  Use as a context manager.
+
+    ``set(key, value)`` attaches an attribute, ``add(name, value)``
+    bumps a per-span counter.  Children are spans opened (on the same
+    thread) while this one is active.
+    """
+
+    __slots__ = ("name", "attributes", "counters", "children",
+                 "start", "duration", "_t0")
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+        self.start = 0.0
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    # -- instrumentation API ------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        stack.append(self)
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attributes["error"] = repr(exc)
+        stack = _stack()
+        # Pop *this* span even if the stack was tampered with.
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:            # pragma: no cover - defensive
+            stack.remove(self)
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            with _LOCK:
+                _FINISHED.append(self)
+        return False                   # never swallow exceptions
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration,
+        }
+        if self.attributes:
+            d["attributes"] = dict(self.attributes)
+        if self.counters:
+            d["counters"] = dict(self.counters)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def __repr__(self) -> str:   # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class _NullSpan:
+    """Do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+_LOCK = threading.Lock()
+_FINISHED: List[Span] = []
+_TLS = threading.local()
+_ENABLED = False
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def span(name: str, **attributes: Any):
+    """Open a span (context manager); no-op singleton when disabled."""
+    if not _ENABLED:
+        return NULL_SPAN
+    return Span(name, attributes)
+
+
+def enable() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all finished spans (open spans on other threads survive)."""
+    with _LOCK:
+        _FINISHED.clear()
+    _TLS.stack = []
+
+
+def finished_spans() -> List[Span]:
+    """Snapshot of the finished root spans, oldest first."""
+    with _LOCK:
+        return list(_FINISHED)
+
+
+def span_tree_names(roots: Optional[List[Span]] = None) -> List[str]:
+    """Flat dotted names of every span in the registry (test helper)."""
+    names: List[str] = []
+
+    def walk(s: Span, prefix: str) -> None:
+        path = f"{prefix}.{s.name}" if prefix else s.name
+        names.append(path)
+        for child in s.children:
+            walk(child, path)
+
+    for root in (finished_spans() if roots is None else roots):
+        walk(root, "")
+    return names

@@ -1,0 +1,287 @@
+"""Observability core: spans, metrics, export schema, concurrency."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts disabled and empty, and leaves no residue."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        obs.enable()
+        with obs.span("outer", circuit="adder") as outer:
+            with obs.span("inner") as inner:
+                inner.add("work", 3)
+            with obs.span("inner2"):
+                pass
+        roots = obs.finished_spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner", "inner2"]
+        assert roots[0].attributes["circuit"] == "adder"
+        assert roots[0].children[0].counters["work"] == 3
+        assert obs.span_names() == ["outer", "outer.inner",
+                                    "outer.inner2"]
+
+    def test_durations_measured(self):
+        obs.enable()
+        with obs.span("timed"):
+            pass
+        (root,) = obs.finished_spans()
+        assert root.duration >= 0.0
+        assert root.start > 0.0
+
+    def test_exception_safety(self):
+        obs.enable()
+        with pytest.raises(ValueError, match="boom"):
+            with obs.span("outer"):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        (root,) = obs.finished_spans()
+        failing = root.children[0]
+        assert failing.duration >= 0.0
+        assert "ValueError" in failing.attributes["error"]
+        # The stack unwound fully: a new span is again a root.
+        with obs.span("after"):
+            pass
+        assert [r.name for r in obs.finished_spans()] == ["outer",
+                                                          "after"]
+
+    def test_disabled_is_noop_singleton(self):
+        assert not obs.enabled()
+        sp = obs.span("anything", x=1)
+        assert sp is obs.NULL_SPAN
+        with sp as inner:
+            inner.add("c")
+            inner.set("k", "v")
+        assert obs.finished_spans() == []
+
+    def test_disabled_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("nope"):
+                raise RuntimeError("still raised")
+
+    def test_threads_build_independent_trees(self):
+        obs.enable()
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            with obs.span(f"t{i}"):
+                with obs.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = obs.finished_spans()
+        assert sorted(r.name for r in roots) == ["t0", "t1", "t2", "t3"]
+        assert all(len(r.children) == 1 for r in roots)
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        obs.enable()
+        obs.inc("c", 2)
+        obs.inc("c")
+        obs.gauge("g", 7.5)
+        obs.observe("h", 1.0)
+        obs.observe("h", 3.0)
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["mean"] == 2.0
+
+    def test_disabled_mutators_are_noops(self):
+        obs.inc("c")
+        obs.gauge("g", 1)
+        obs.observe("h", 1)
+        snap = obs.registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {},
+                        "histograms": {}}
+
+    def test_histogram_buckets_and_extremes(self):
+        h = Histogram()
+        for v in (0.5, 1.0, 2.0, 0.0, -1.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 5
+        assert d["min"] == -1.0 and d["max"] == 2.0
+        assert d["buckets"]["-inf"] == 2      # 0.0 and -1.0
+        assert sum(d["buckets"].values()) == 5
+
+    def test_thread_safety_of_registry(self):
+        obs.enable()
+        reg = MetricsRegistry()
+        n, k = 8, 2000
+
+        def worker():
+            for _ in range(k):
+                reg.inc("hits")
+                reg.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits") == n * k
+        assert reg.histogram("lat").count == n * k
+
+
+class TestExport:
+    def test_round_trip(self, tmp_path):
+        obs.enable()
+        with obs.span("root", kind="test") as sp:
+            sp.add("items", 5)
+        obs.inc("counter", 9)
+        path = tmp_path / "telemetry.json"
+        written = obs.write_export(str(path), seed=42)
+
+        loaded = obs.load_export(str(path))
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["schema"] == obs.SCHEMA
+        assert loaded["manifest"]["seed"] == 42
+        assert loaded["manifest"]["package"] == "repro"
+        assert loaded["metrics"]["counters"]["counter"] == 9
+        (root,) = loaded["spans"]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"kind": "test"}
+        assert root["counters"] == {"items": 5}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="telemetry export"):
+            obs.load_export(str(path))
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            obs.load_export(str(path))
+
+    def test_manifest_contents(self):
+        m = obs.run_manifest(seed=7, extra={"note": "x"})
+        assert m["seed"] == 7
+        assert m["note"] == "x"
+        assert m["version"]
+        assert m["python"].count(".") == 2
+
+
+class TestInstrumentationFlows:
+    """Spans actually flow from the engines named in the issue."""
+
+    def test_fastsim_emits_spans_and_counters(self):
+        from repro.logic.fastsim import collect_activity
+        from repro.logic.generators import ripple_carry_adder
+        from repro.logic.simulate import random_vectors
+
+        obs.enable()
+        circuit = ripple_carry_adder(3)
+        circuit.invalidate()
+        vectors = random_vectors(circuit.inputs, 32, seed=0)
+        collect_activity(circuit, vectors)
+        names = obs.span_names()
+        assert "fastsim.collect_activity" in names
+        assert "fastsim.collect_activity.fastsim.compile" in names
+        assert obs.registry.counter("fastsim.vectors") == 32
+
+    def test_eventsim_counts_events_and_glitches(self):
+        from repro.logic.eventsim import EventSimulator
+        from repro.logic.generators import ripple_carry_adder
+        from repro.logic.simulate import random_vectors
+
+        obs.enable()
+        circuit = ripple_carry_adder(3)
+        sim = EventSimulator(circuit)
+        sim.run(random_vectors(circuit.inputs, 40, seed=1))
+        assert "eventsim.run" in obs.span_names()
+        assert obs.registry.counter("eventsim.events") == sim.events
+        assert sim.events > 0
+        assert sim.glitches >= 0
+
+    def test_bdd_stats_bridge_to_gauges(self):
+        from repro.bdd.manager import BddManager
+
+        obs.enable()
+        manager = BddManager()
+        a, b = manager.var("a"), manager.var("b")
+        _ = (a & b) | ~a
+        stats = manager.stats()
+        gauges = obs.registry.snapshot()["gauges"]
+        for key, value in stats.items():
+            assert gauges[f"bdd.{key}"] == value
+
+    def test_estimator_spans(self):
+        from repro import PowerEstimator
+        from repro.logic.generators import ripple_carry_adder
+        from repro.logic.simulate import random_vectors
+
+        obs.enable()
+        circuit = ripple_carry_adder(3)
+        vectors = random_vectors(circuit.inputs, 16, seed=2)
+        PowerEstimator().gate(circuit, vectors)
+        names = obs.span_names()
+        assert any(n.startswith("estimator.gate") for n in names)
+        assert obs.registry.counter("estimator.calls.gate") == 1
+
+    def test_schedule_spans(self):
+        from repro.cdfg.graph import Cdfg
+        from repro.cdfg.schedule import list_schedule
+
+        obs.enable()
+        cdfg = Cdfg("toy")
+        a = cdfg.add_input("a")
+        b = cdfg.add_input("b")
+        cdfg.add_op("add", a, b)
+        list_schedule(cdfg, {"add": 1})
+        assert "schedule.list" in obs.span_names()
+
+    def test_disabled_engines_emit_nothing(self):
+        from repro.logic.fastsim import collect_activity
+        from repro.logic.generators import ripple_carry_adder
+        from repro.logic.simulate import random_vectors
+
+        assert not obs.enabled()
+        circuit = ripple_carry_adder(3)
+        collect_activity(circuit,
+                         random_vectors(circuit.inputs, 16, seed=0))
+        assert obs.finished_spans() == []
+        assert obs.registry.snapshot()["counters"] == {}
+
+
+class TestEnvActivation:
+    def test_env_export_at_exit(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        out = tmp_path / "tele.json"
+        src = Path(__file__).resolve().parent.parent / "src"
+        code = (
+            "from repro import obs\n"
+            "assert obs.enabled()\n"
+            "with obs.span('from-env'):\n"
+            "    obs.inc('ticks')\n"
+        )
+        env = {"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin",
+               "REPRO_OBS_EXPORT": str(out)}
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+        state = obs.load_export(str(out))
+        assert [s["name"] for s in state["spans"]] == ["from-env"]
+        assert state["metrics"]["counters"]["ticks"] == 1
