@@ -1,0 +1,81 @@
+"""Perf — compiled tick-wheel timed engine vs. event-driven reference.
+
+Not a paper figure: this bench guards the engineering claim that makes
+the glitch-aware ground truth cheap.  Every relative claim in the
+survey is judged against timed simulation (Section II "real delay",
+the retiming study of Section III-J), so the fig9 circuits — the deep
+adder chain and its glitch-aware pipelined cut — are the workload: the
+tick-wheel engine must (a) stay bit-identical to the event-driven
+reference, ``events`` and ``glitches`` tallies included, and (b) be at
+least 10x faster at 4096 packed cycles.  Measured speedups are
+recorded in ``BENCH_eventsim.json`` at the repo root.
+"""
+
+from _perf_common import REPO_ROOT, measure, record
+
+from conftest import shape
+
+from repro.logic import fasttimer
+from repro.logic.eventsim import EventSimulator
+from repro.logic.fastsim import random_packed_vectors
+from repro.logic.generators import chained_adder_tree
+from repro.optimization.retiming import pipeline_at_level
+
+RESULTS_PATH = REPO_ROOT / "BENCH_eventsim.json"
+
+N_CYCLES = 4096
+
+
+def _compare(circuit, key, repeats=3):
+    packed = random_packed_vectors(circuit.inputs, N_CYCLES, seed=51)
+    # Warm the compiled plans (tick schedule + functional plan) and
+    # the reference engine's topo/fanout caches outside timing.
+    fasttimer.compile_timed(circuit)
+    fast_report = EventSimulator(circuit, engine="fast").run(packed)
+    ref_report = EventSimulator(circuit, engine="reference").run(packed)
+
+    shape("engines bit-identical before timing (toggles/ones/"
+          "glitches/events/switched/clock)", fast_report == ref_report)
+
+    t_ref = measure(
+        lambda: EventSimulator(circuit, engine="reference").run(packed))
+    t_fast = measure(
+        lambda: EventSimulator(circuit, engine="fast").run(packed),
+        repeats=repeats)
+    speedup = t_ref / max(t_fast, 1e-9)
+    record(RESULTS_PATH, key, {
+        "circuit": circuit.name,
+        "gates": circuit.gate_count(),
+        "registers": len(circuit.latches),
+        "cycles": N_CYCLES,
+        "glitches": ref_report.glitches,
+        "reference_s": round(t_ref, 6),
+        "fast_s": round(t_fast, 6),
+        "speedup": round(speedup, 2),
+    })
+    return t_ref, t_fast, speedup
+
+
+def test_perf_timed_fig9_circuits(once):
+    """>= 10x on the fig9 adder chain, flat and pipelined."""
+    flat = chained_adder_tree(4, 4)
+    piped, _regs = pipeline_at_level(flat, max(1, flat.depth() // 2),
+                                     name="addchain4x4_piped")
+
+    def experiment():
+        return {
+            "combinational": _compare(flat, key="fig9_flat_4096"),
+            "pipelined": _compare(piped, key="fig9_pipelined_4096"),
+        }
+
+    results = once(experiment)
+    print()
+    print(f"Perf: tick-wheel timed engine vs event-driven reference "
+          f"({N_CYCLES} packed cycles):")
+    for label, (t_ref, t_fast, speedup) in results.items():
+        print(f"  {label:13s}: reference {t_ref * 1e3:8.1f} ms, "
+              f"fast {t_fast * 1e3:6.1f} ms  ->  {speedup:6.1f}x")
+
+    for label, (_, _, speedup) in results.items():
+        shape(f"timed fast engine >= 10x on {label} fig9 circuit "
+              f"(got {speedup:.1f}x)", speedup >= 10.0)

@@ -182,10 +182,11 @@ class PowerEstimator:
                 raise ValueError("event-driven needs stimulus vectors")
             from repro.logic.eventsim import EventSimulator
 
-            power = EventSimulator(circuit).run(vectors).average_power(
-                vdd=self.vdd, freq=self.freq)
+            engine = engine or self.engine
+            power = EventSimulator(circuit, engine=engine).run(
+                vectors).average_power(vdd=self.vdd, freq=self.freq)
             return EstimateResult(
-                power, technique, "gate",
+                power, f"{technique}/{engine}", "gate",
                 cost=3.0 * len(vectors) * circuit.gate_count())
         if technique == "probabilistic":
             from repro.estimation.probabilistic import \

@@ -19,6 +19,7 @@ measurable.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -35,6 +36,11 @@ class SamplingResult:
     estimate: float
     model_evaluations: int
     gate_cycles: int
+    #: Standard error of the mean-of-sample-means (None when fewer
+    #: than two samples were drawn, e.g. census evaluation) — makes
+    #: the paper's >= 30-units-per-sample normality argument checkable
+    #: against the spread actually observed.
+    std_error: Optional[float] = None
 
     @property
     def cost(self) -> float:
@@ -74,9 +80,15 @@ def sampler_power(model: MacroModel, streams: Sequence[WordStream],
                   seed: int = 0) -> SamplingResult:
     """Simple-random-sampling estimator over marked cycles.
 
-    ``n_samples`` independent samples of ``sample_size`` cycles are
-    drawn; the estimate is the mean of the sample means.  The paper's
-    guidance (samples of at least 30 units) is enforced.
+    ``n_samples`` samples of ``sample_size`` cycles are drawn *without
+    replacement across samples* — one ``rng.sample`` of
+    ``n_samples * sample_size`` marked cycles, chunked — so no cycle
+    is evaluated twice and the samples stay disjoint; the estimate is
+    the mean of the sample means.  The paper's guidance (samples of at
+    least 30 units) is enforced, and the standard error of the mean of
+    sample means is reported so the normality argument is checkable.
+    For a fixed ``seed`` the marked set, the estimate and the error
+    are fully deterministic.
     """
     if sample_size < 30:
         raise ValueError("samples must have at least 30 units "
@@ -86,15 +98,19 @@ def sampler_power(model: MacroModel, streams: Sequence[WordStream],
     if len(population) <= n_samples * sample_size:
         return census_power(model, streams)
     rng = random.Random(seed)
+    marked = rng.sample(population, n_samples * sample_size)
     sample_means: List[float] = []
-    evaluations = 0
-    for _ in range(n_samples):
-        marked = rng.sample(population, sample_size)
-        total = sum(cycle_model_energy(model, streams, t) for t in marked)
-        evaluations += sample_size
+    for k in range(n_samples):
+        chunk = marked[k * sample_size:(k + 1) * sample_size]
+        total = sum(cycle_model_energy(model, streams, t) for t in chunk)
         sample_means.append(total / sample_size)
     estimate = sum(sample_means) / len(sample_means)
-    return SamplingResult(estimate, evaluations, 0)
+    std_error = None
+    if n_samples > 1:
+        var = sum((m - estimate) ** 2 for m in sample_means) \
+            / (n_samples - 1)
+        std_error = math.sqrt(var / n_samples)
+    return SamplingResult(estimate, len(marked), 0, std_error=std_error)
 
 
 def adaptive_power(model: MacroModel, component: RtlComponent,
@@ -129,14 +145,24 @@ def adaptive_power(model: MacroModel, component: RtlComponent,
 
     base = sampler_power(model, streams, n_samples=n_samples,
                          sample_size=sample_size, seed=seed + 1)
+    std_error = ratio * base.std_error \
+        if base.std_error is not None else None
     return SamplingResult(ratio * base.estimate,
                           base.model_evaluations + evaluations,
-                          len(gate_sample))
+                          len(gate_sample), std_error=std_error)
 
 
 def gate_reference_power(component: RtlComponent,
-                         streams: Sequence[WordStream]) -> SamplingResult:
-    """Full gate-level simulation (the expensive ground truth)."""
+                         streams: Sequence[WordStream],
+                         timed: bool = False,
+                         workers: Optional[int] = None) -> SamplingResult:
+    """Full gate-level simulation (the expensive ground truth).
+
+    ``timed=True`` uses the glitch-aware tick-wheel engine; ``workers``
+    then shards long streams across processes (the merged report is
+    bit-identical to a serial run).
+    """
     length = min(len(s) for s in streams)
-    power = component.reference_power(streams)
+    power = component.reference_power(streams, timed=timed,
+                                      workers=workers)
     return SamplingResult(power, 0, length)

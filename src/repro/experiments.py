@@ -60,6 +60,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_fastsim.py", kind="perf"),
     Experiment("P2", "BDD engine: fused image, ordering, sifting",
                "bench_perf_bdd.py", kind="perf"),
+    Experiment("P3", "tick-wheel timed engine vs event-driven reference",
+               "bench_perf_eventsim.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [

@@ -13,6 +13,9 @@ capacitance; here that reference is provided by
   vector batches,
 - :mod:`repro.logic.eventsim`  -- event-driven timing simulation that
   captures glitching (needed by the retiming study, Section III-J),
+- :mod:`repro.logic.fasttimer` -- compiled tick-wheel timed engine,
+  bit-parallel waveforms per (net, tick), exactly equivalent to the
+  event-driven reference,
 - :mod:`repro.logic.synthesis` -- SOP covers to gate netlists,
 - :mod:`repro.logic.generators`-- parametric adders, multipliers,
   comparators, parity trees, and random logic used as benchmark
@@ -35,7 +38,8 @@ from repro.logic.fastsim import (
     compile_circuit,
     random_packed_vectors,
 )
-from repro.logic.eventsim import EventSimulator
+from repro.logic.eventsim import EventSimulator, TickGrid, tick_grid
+from repro.logic.fasttimer import TimedPlan, compile_timed, timed_activity
 
 __all__ = [
     "GateSpec",
@@ -53,4 +57,9 @@ __all__ = [
     "compile_circuit",
     "random_packed_vectors",
     "EventSimulator",
+    "TickGrid",
+    "tick_grid",
+    "TimedPlan",
+    "compile_timed",
+    "timed_activity",
 ]

@@ -68,6 +68,8 @@ class Circuit:
             Dict[str, List[Tuple[object, int]]]] = None
         self._caps_cache: Optional[Dict[str, float]] = None
         self._fastsim_plan: Optional[object] = None
+        self._fasttimer_plan: Optional[object] = None
+        self._tick_grid: Optional[object] = None
         self._version: int = 0
 
     def invalidate(self) -> None:
@@ -83,7 +85,26 @@ class Circuit:
         self._fanout_cache = None
         self._caps_cache = None
         self._fastsim_plan = None
+        self._fasttimer_plan = None
+        self._tick_grid = None
         self._version += 1
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop derived caches for pickling.
+
+        The compiled simulation plans hold ``exec``-generated
+        functions that cannot cross process boundaries; worker
+        processes (fasttimer's sharded evaluation) rebuild them from
+        the structural state.
+        """
+        state = self.__dict__.copy()
+        state["_topo_cache"] = None
+        state["_fanout_cache"] = None
+        state["_caps_cache"] = None
+        state["_fastsim_plan"] = None
+        state["_fasttimer_plan"] = None
+        state["_tick_grid"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction

@@ -115,6 +115,11 @@ class ActivityReport:
     ones: Dict[str, int]
     switched_capacitance: float
     clock_capacitance: float = 0.0
+    #: Timed-engine extras (None for zero-delay runs): total applied
+    #: value-change events including settling, and transitions beyond
+    #: each net's settled change per cycle (the glitch tally).
+    events: Optional[int] = None
+    glitches: Optional[int] = None
 
     def activity(self, net: str) -> float:
         """Average toggles per cycle of a net (E in the paper's models)."""

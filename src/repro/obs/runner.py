@@ -48,18 +48,20 @@ __all__ = ["discover_benches", "run_bench", "run_sweep",
            "gate_regressions", "main", "SMOKE_BENCHES"]
 
 #: Quick, deterministic subset exercised by ``--smoke`` (CI) runs:
-#: one estimation bench, one optimization bench, and both perf
+#: one estimation bench, one optimization bench, and the perf
 #: benches (the regression-gate inputs).
 SMOKE_BENCHES = [
     "bench_c2_entropy.py",
     "bench_fig3_shutdown.py",
     "bench_perf_fastsim.py",
     "bench_perf_bdd.py",
+    "bench_perf_eventsim.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
 #: each: entries carry a ``speedup`` field compared against baseline.
-BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json"]
+BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
+                  "BENCH_eventsim.json"]
 
 
 def default_repo_root() -> Path:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from repro.logic.eventsim import EventSimulator
+from repro.logic.fastsim import PackedVectors
 from repro.logic.netlist import Circuit, Gate
 from repro.logic.simulate import Vector, collect_activity
 
@@ -188,9 +189,25 @@ def circuit_to_retiming_graph(circuit: Circuit) -> nx.DiGraph:
 # Low-power retiming on real netlists (Monteiro heuristic)
 # ----------------------------------------------------------------------
 
+def _packed_stimulus(circuit: Circuit, vectors: Sequence[Vector]):
+    """Pack the stimulus once so every candidate circuit reuses it.
+
+    Retiming scores dozens of candidate netlists against the same
+    vectors; candidates keep the original input names, so one
+    :class:`PackedVectors` batch serves them all on the fast engines.
+    """
+    if isinstance(vectors, PackedVectors):
+        return vectors
+    try:
+        return PackedVectors.from_vectors(circuit.inputs, list(vectors))
+    except KeyError:
+        return vectors      # partial vectors: reference semantics
+
+
 def glitch_scores(circuit: Circuit, vectors: Sequence[Vector]
                   ) -> Dict[str, float]:
     """Candidate score per gate output: glitching x downstream load."""
+    vectors = _packed_stimulus(circuit, vectors)
     sim = EventSimulator(circuit)
     glitches = sim.glitch_report(vectors)
     fanout = circuit.fanout_map()
@@ -334,13 +351,20 @@ def choose_low_power_level(circuit: Circuit, vectors: Sequence[Vector],
     mid-depth baseline — are then measured with a short event-driven
     probe and the lowest-power one wins.
     """
+    vectors = _packed_stimulus(circuit, vectors)
     scores = glitch_scores(circuit, vectors)
     depth = circuit.depth()
     ranked = sorted(
         range(1, depth),
         key=lambda th: -(_cut_score(circuit, scores, th)[0]
                          / max(1, _cut_score(circuit, scores, th)[1])))
-    probe = list(vectors[:probe_vectors])
+    if isinstance(vectors, PackedVectors):
+        k = min(probe_vectors, vectors.n)
+        probe = PackedVectors(vectors.names, k,
+                              {name: w & ((1 << k) - 1)
+                               for name, w in vectors.words.items()})
+    else:
+        probe = list(vectors[:probe_vectors])
     shortlist = set(ranked[:candidates]) | {max(1, depth // 2)}
     best_level = max(1, depth // 2)
     best_power = float("inf")
@@ -377,6 +401,7 @@ def evaluate_power_retiming(circuit: Circuit, vectors: Sequence[Vector]
     All powers are measured with the event-driven (glitch-accurate)
     simulator, which is the entire point of the technique.
     """
+    vectors = _packed_stimulus(circuit, vectors)
     base = EventSimulator(circuit).run(vectors).average_power()
 
     mid = max(1, circuit.depth() // 2)

@@ -70,23 +70,36 @@ class RtlComponent:
                 vec[f"{prefix}{i}"] = (word >> i) & 1
         return vec
 
-    def reference_activity(self, operand_streams: Sequence[WordStream]
+    def reference_activity(self, operand_streams: Sequence[WordStream],
+                           timed: bool = False,
+                           workers: Optional[int] = None
                            ) -> ActivityReport:
         """Gate-level activity under word-level stimulus (ground truth).
 
         Streams are packed directly into bit-parallel input lanes, so
         characterization runs (thousands of cycles per component) skip
-        the per-cycle vector dicts entirely.
+        the per-cycle vector dicts entirely.  ``timed=True`` switches
+        the ground truth to the glitch-aware tick-wheel engine
+        (:mod:`repro.logic.fasttimer`); ``workers`` then shards long
+        streams across processes (partial reports merge exactly).
         """
         from repro.logic import fastsim
 
         packed = fastsim.pack_streams(self.input_ports, operand_streams)
+        if timed:
+            from repro.logic import fasttimer
+
+            return fasttimer.timed_activity(self.circuit, packed,
+                                            workers=workers)
         return collect_activity(self.circuit, packed)
 
     def reference_power(self, operand_streams: Sequence[WordStream],
-                        vdd: float = 1.0, freq: float = 1.0) -> float:
-        return self.reference_activity(operand_streams).average_power(
-            vdd=vdd, freq=freq)
+                        vdd: float = 1.0, freq: float = 1.0,
+                        timed: bool = False,
+                        workers: Optional[int] = None) -> float:
+        return self.reference_activity(
+            operand_streams, timed=timed, workers=workers,
+        ).average_power(vdd=vdd, freq=freq)
 
     def cycle_energies(self, operand_streams: Sequence[WordStream],
                        vdd: float = 1.0) -> List[float]:

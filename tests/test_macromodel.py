@@ -1,6 +1,8 @@
 """Tests for macro-models, sampling cosimulation, quick synthesis, and
 software power estimation."""
 
+import random
+
 import pytest
 
 from repro.estimation.macromodel import (
@@ -152,6 +154,62 @@ class TestSampling:
         # ~33x fewer evaluations, small error:
         assert census.model_evaluations / sampled.model_evaluations > 30
         assert sampled.estimate == pytest.approx(census.estimate, rel=0.15)
+
+    def test_sampler_fixed_seed_is_deterministic(self, fitted):
+        _comp, model = fitted
+        streams = _test_streams(4, seed=63, length=4000)
+        first = sampler_power(model, streams, n_samples=4,
+                              sample_size=30, seed=9)
+        second = sampler_power(model, streams, n_samples=4,
+                               sample_size=30, seed=9)
+        assert first.estimate == second.estimate
+        assert first.std_error == second.std_error
+
+    def test_sampler_draws_without_cross_sample_replacement(self,
+                                                            fitted):
+        """One rng.sample covers all samples, so the marked cycles are
+        pairwise distinct and the evaluation count is exact."""
+        _comp, model = fitted
+        streams = _test_streams(4, seed=64, length=4000)
+        length = min(len(s) for s in streams)
+        rng = random.Random(5)
+        marked = rng.sample(list(range(1, length)), 4 * 30)
+        assert len(set(marked)) == 120     # the draw itself is distinct
+        result = sampler_power(model, streams, n_samples=4,
+                               sample_size=30, seed=5)
+        assert result.model_evaluations == 120
+
+    def test_sampler_reports_standard_error(self, fitted):
+        _comp, model = fitted
+        streams = _test_streams(4, seed=65, length=4000)
+        result = sampler_power(model, streams, n_samples=4,
+                               sample_size=30, seed=2)
+        census = census_power(model, streams)
+        assert result.std_error is not None and result.std_error > 0.0
+        # The paper's normality argument: the census mean should land
+        # within a few standard errors of the sampled estimate.
+        assert abs(result.estimate - census.estimate) \
+            < 6.0 * result.std_error
+        assert census.std_error is None    # census draws no samples
+
+    def test_adaptive_scales_standard_error(self, fitted):
+        comp, model = fitted
+        streams = _test_streams(4, seed=66, length=4000)
+        result = adaptive_power(model, comp, streams, n_samples=4,
+                                sample_size=30, seed=3)
+        assert result.std_error is not None and result.std_error > 0.0
+
+    def test_gate_reference_timed_captures_glitches(self, fitted):
+        comp, _model = fitted
+        streams = _test_streams(4, seed=67, length=1200)
+        plain = gate_reference_power(comp, streams)
+        timed = gate_reference_power(comp, streams, timed=True)
+        sharded = gate_reference_power(comp, streams, timed=True,
+                                       workers=2)
+        # Glitching only adds transitions, and sharding must not
+        # change the answer at all.
+        assert timed.estimate >= plain.estimate
+        assert sharded.estimate == timed.estimate
 
     def test_sampler_enforces_minimum_units(self, fitted):
         _comp, model = fitted
