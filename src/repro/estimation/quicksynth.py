@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.library import ModuleLibrary
 from repro.cdfg.schedule import Schedule, list_schedule
+from repro.rtl import faststreams
+from repro.util.bits import hamming
 
 
 @dataclass
@@ -31,8 +33,8 @@ class QuickSynthesisEstimate:
     latency: int
 
 
-def dynamic_profile(cdfg: Cdfg, input_streams: Dict[str, Sequence[int]]
-                    ) -> Dict[str, float]:
+def dynamic_profile(cdfg: Cdfg, input_streams: Dict[str, Sequence[int]],
+                    engine: str = "fast") -> Dict[str, float]:
     """Average word-level activity per operation kind from simulation.
 
     This is "dynamic profiling based on direct simulation of the
@@ -44,8 +46,11 @@ def dynamic_profile(cdfg: Cdfg, input_streams: Dict[str, Sequence[int]]
         values = traces[node.uid]
         if len(values) < 2:
             continue
-        toggles = sum(bin(a ^ b).count("1")
-                      for a, b in zip(values, values[1:]))
+        if engine == "fast":
+            toggles = faststreams.transition_count(values, cdfg.width)
+        else:
+            toggles = sum(hamming(a, b)
+                          for a, b in zip(values, values[1:]))
         per_cycle = toggles / ((len(values) - 1) * cdfg.width)
         activity_by_kind.setdefault(node.kind, []).append(per_cycle)
     return {kind: sum(v) / len(v) for kind, v in activity_by_kind.items()}

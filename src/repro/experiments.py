@@ -62,6 +62,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_bdd.py", kind="perf"),
     Experiment("P3", "tick-wheel timed engine vs event-driven reference",
                "bench_perf_eventsim.py", kind="perf"),
+    Experiment("P4", "bit-plane word-stream engine vs scalar statistics",
+               "bench_perf_streams.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [

@@ -17,8 +17,16 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.fsm.markov import transition_probabilities
 from repro.fsm.stg import STG
+from repro.rtl import faststreams
+from repro.util.bits import hamming as _hamming
+
+#: Codes wider than this cannot be held in a uint64 lane; the
+#: vectorized cost paths fall back to the scalar reference.
+_MAX_VECTOR_BITS = 63
 
 
 @dataclass
@@ -33,7 +41,7 @@ class Encoding:
         return format(self.codes[state], f"0{self.n_bits}b")[::-1]
 
     def hamming(self, a: str, b: str) -> int:
-        return bin(self.codes[a] ^ self.codes[b]).count("1")
+        return _hamming(self.codes[a], self.codes[b])
 
 
 def min_bits(n_states: int) -> int:
@@ -75,17 +83,95 @@ def random_encoding(stg: STG, seed: int = 0,
 def encoding_switching_cost(stg: STG, encoding: Encoding,
                             bit_probs: Optional[Sequence[float]] = None,
                             probs: Optional[Dict[Tuple[str, str], float]]
-                            = None) -> float:
+                            = None, engine: str = "fast") -> float:
     """Expected state-line Hamming switching per cycle.
 
     This is the canonical cost  sum_ij p_ij H(E(i), E(j))  that all the
     cited encoding papers minimize (and that the Tyagi bound lower
-    bounds).
+    bounds).  The packed engine evaluates it as one vectorized
+    popcount over the pair set (agreeing with the scalar reference to
+    float round-off); one-hot-style codes wider than 63 bits fall back
+    to the reference.
     """
     if probs is None:
         probs = transition_probabilities(stg, bit_probs)
+    if engine == "fast" and encoding.n_bits <= _MAX_VECTOR_BITS:
+        pairs = [(a, b) for (a, b) in probs if a != b]
+        if not pairs:
+            return 0.0
+        codes = [encoding.codes[a] for a, _b in pairs] \
+            + [encoding.codes[b] for _a, b in pairs]
+        n = len(pairs)
+        return faststreams.weighted_hamming(
+            codes, np.arange(n), np.arange(n, 2 * n),
+            [probs[pair] for pair in pairs])
     return sum(p * encoding.hamming(a, b) for (a, b), p in probs.items()
                if a != b)
+
+
+class _WeightVectors:
+    """Index-space view of the symmetric pair weights.
+
+    Per-state neighbour arrays (indices + probabilities) let the
+    greedy placement and the annealing deltas evaluate weighted
+    Hamming sums as vectorized popcounts instead of dict walks — the
+    per-lane transition-probability formulation of the packed engine.
+    """
+
+    def __init__(self, states: Sequence[str],
+                 weight: Dict[Tuple[str, str], float]) -> None:
+        self.index = {s: i for i, s in enumerate(states)}
+        neighbours: List[List[Tuple[int, float]]] = \
+            [[] for _ in states]
+        for (a, b), p in weight.items():
+            ia, ib = self.index[a], self.index[b]
+            neighbours[ia].append((ib, p))
+            neighbours[ib].append((ia, p))
+        self.nb_idx = [np.array([i for i, _p in nb], dtype=np.intp)
+                       for nb in neighbours]
+        self.nb_p = [np.array([p for _i, p in nb], dtype=np.float64)
+                     for nb in neighbours]
+        self.pair_ia = np.array([self.index[a] for a, _b in weight],
+                                dtype=np.intp)
+        self.pair_ib = np.array([self.index[b] for _a, b in weight],
+                                dtype=np.intp)
+        self.pair_p = np.array(list(weight.values()), dtype=np.float64)
+
+    def total_cost(self, codes_arr: "np.ndarray") -> float:
+        diff = codes_arr[self.pair_ia] ^ codes_arr[self.pair_ib]
+        return float(np.dot(self.pair_p,
+                            faststreams.popcount_array(diff)))
+
+    def move_delta(self, codes_arr: "np.ndarray", si: int,
+                   new_code: int) -> float:
+        """Cost change of moving state ``si`` to ``new_code``."""
+        idx = self.nb_idx[si]
+        if not len(idx):
+            return 0.0
+        others = codes_arr[idx]
+        h_new = faststreams.popcount_array(others ^ np.uint64(new_code))
+        h_old = faststreams.popcount_array(others ^ codes_arr[si])
+        return float(np.dot(self.nb_p[si], h_new - h_old))
+
+    def swap_delta(self, codes_arr: "np.ndarray", sa: int,
+                   sb: int) -> float:
+        """Cost change of exchanging the codes of two states."""
+        ca, cb = codes_arr[sa], codes_arr[sb]
+        delta = 0.0
+        for si, mine, theirs, other_state in ((sa, ca, cb, sb),
+                                              (sb, cb, ca, sa)):
+            idx = self.nb_idx[si]
+            if not len(idx):
+                continue
+            keep = idx != other_state   # the (a, b) pair itself is
+            idx = idx[keep]             # unchanged by the swap
+            if not len(idx):
+                continue
+            others = codes_arr[idx]
+            h_new = faststreams.popcount_array(others ^ theirs)
+            h_old = faststreams.popcount_array(others ^ mine)
+            delta += float(np.dot(self.nb_p[si][keep], h_new - h_old))
+        return delta
 
 
 def low_power_encoding(stg: STG,
@@ -93,7 +179,8 @@ def low_power_encoding(stg: STG,
                        n_bits: Optional[int] = None,
                        seed: int = 0,
                        anneal_steps: int = 4000,
-                       use_annealing: bool = True) -> Encoding:
+                       use_annealing: bool = True,
+                       engine: str = "fast") -> Encoding:
     """Probability-weighted hypercube embedding.
 
     Greedy phase: states in decreasing total edge weight claim the free
@@ -101,7 +188,12 @@ def low_power_encoding(stg: STG,
     neighbours.  Annealing phase: pairwise code swaps (including swaps
     with unused codes) under a geometric cooling schedule.
 
-    Set ``use_annealing=False`` for the greedy-only ablation.
+    Set ``use_annealing=False`` for the greedy-only ablation.  The
+    default packed engine evaluates candidate costs and swap deltas as
+    vectorized popcounts over the per-state transition-probability
+    vectors; ``engine="reference"`` keeps the scalar dict walks (the
+    two may differ on exact cost ties, as both are heuristics over
+    float scores that agree to round-off).
     """
     bits = n_bits or min_bits(stg.n_states)
     if (1 << bits) < stg.n_states:
@@ -115,6 +207,9 @@ def low_power_encoding(stg: STG,
             continue
         key = (a, b) if a < b else (b, a)
         weight[key] = weight.get(key, 0.0) + p
+
+    fast = engine == "fast" and bits <= _MAX_VECTOR_BITS
+    vectors = _WeightVectors(stg.states, weight) if fast else None
 
     def w(a: str, b: str) -> float:
         return weight.get((a, b) if a < b else (b, a), 0.0)
@@ -132,17 +227,31 @@ def low_power_encoding(stg: STG,
                   if w(state, other) > 0]
         if not placed:
             code = min(free)
+        elif fast:
+            candidates = sorted(free)
+            cand_arr = np.array(candidates, dtype=np.uint64)
+            placed_codes = np.array([c for _o, c in placed],
+                                    dtype=np.uint64)
+            weights = np.array([w(state, other) for other, _c in placed],
+                               dtype=np.float64)
+            costs = faststreams.popcount_array(
+                cand_arr[:, None] ^ placed_codes[None, :]) @ weights
+            code = candidates[int(np.argmin(costs))]
         else:
             def cost_of(candidate: int) -> float:
                 return sum(w(state, other)
-                           * bin(candidate ^ c).count("1")
+                           * _hamming(candidate, c)
                            for other, c in placed)
             code = min(free, key=cost_of)
         codes[state] = code
         free.discard(code)
 
     def total_cost(assign: Dict[str, int]) -> float:
-        return sum(p * bin(assign[a] ^ assign[b]).count("1")
+        if fast:
+            codes_arr = np.array([assign[s] for s in stg.states],
+                                 dtype=np.uint64)
+            return vectors.total_cost(codes_arr)
+        return sum(p * _hamming(assign[a], assign[b])
                    for (a, b), p in weight.items())
 
     if not use_annealing:
@@ -153,6 +262,8 @@ def low_power_encoding(stg: STG,
     states = list(stg.states)
     pool = states + [None] * len(free)   # None slots are unused codes
     free_codes = sorted(free)
+    codes_arr = np.array([codes[s] for s in states], dtype=np.uint64) \
+        if fast else None
     current = total_cost(codes)
     best = dict(codes)
     best_cost = current
@@ -169,15 +280,29 @@ def low_power_encoding(stg: STG,
             idx = rng.randrange(len(free_codes))
             new_code = free_codes[idx]
             old_code = codes[a]
-            delta = _swap_delta(codes, weight, a, new_code)
+            if fast:
+                delta = vectors.move_delta(codes_arr, vectors.index[a],
+                                           new_code)
+            else:
+                delta = _swap_delta(codes, weight, a, new_code)
             if delta <= 0 or rng.random() < math.exp(-delta / temp):
                 codes[a] = new_code
+                if fast:
+                    codes_arr[vectors.index[a]] = new_code
                 free_codes[idx] = old_code
                 current += delta
         else:
-            delta = _pair_swap_delta(codes, weight, a, b)
+            if fast:
+                delta = vectors.swap_delta(codes_arr, vectors.index[a],
+                                           vectors.index[b])
+            else:
+                delta = _pair_swap_delta(codes, weight, a, b)
             if delta <= 0 or rng.random() < math.exp(-delta / temp):
                 codes[a], codes[b] = codes[b], codes[a]
+                if fast:
+                    ia, ib = vectors.index[a], vectors.index[b]
+                    codes_arr[ia], codes_arr[ib] = \
+                        codes_arr[ib], codes_arr[ia]
                 current += delta
         if current < best_cost - 1e-12:
             best_cost = current
@@ -197,8 +322,8 @@ def _swap_delta(codes: Dict[str, int],
             other = codes[a]
         else:
             continue
-        delta += p * (bin(new_code ^ other).count("1")
-                      - bin(old_code ^ other).count("1"))
+        delta += p * (_hamming(new_code, other)
+                      - _hamming(old_code, other))
     return delta
 
 
@@ -208,10 +333,10 @@ def _pair_swap_delta(codes: Dict[str, int],
     ca, cb = codes[sa], codes[sb]
     delta = 0.0
     for (a, b), p in weight.items():
-        old = bin(codes[a] ^ codes[b]).count("1")
+        old = _hamming(codes[a], codes[b])
         na = cb if a == sa else (ca if a == sb else codes[a])
         nb = cb if b == sa else (ca if b == sb else codes[b])
-        new = bin(na ^ nb).count("1")
+        new = _hamming(na, nb)
         if new != old:
             delta += p * (new - old)
     return delta

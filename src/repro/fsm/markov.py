@@ -22,34 +22,85 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fsm.stg import STG
+from repro.util.bits import popcount
+
+#: The batched minterm path materializes a (transitions, 2^n_inputs)
+#: match matrix; beyond this many input bits it falls back to the
+#: per-cube scalar products.
+_MAX_MINTERM_BITS = 16
+
+
+def _minterm_fractions(stg: STG,
+                       bit_probs: Sequence[float]) -> np.ndarray:
+    """Input-cube probabilities of every transition, batched.
+
+    Enumerates the ``2^n_inputs`` minterm space once: minterm
+    probabilities are the product of per-bit probabilities, each
+    transition's fraction is the probability mass of the minterms its
+    cube matches.  Equal to the per-cube product of
+    ``Transition.input_fraction`` (to float round-off), evaluated as
+    two numpy matmuls instead of ``transitions * n_inputs`` scalar
+    multiplies.
+    """
+    m = 1 << stg.n_inputs
+    bits = (np.arange(m)[:, None] >> np.arange(stg.n_inputs)) & 1
+    q = np.asarray(bit_probs, dtype=np.float64)
+    minterm_p = np.prod(np.where(bits == 1, q, 1.0 - q), axis=1)
+    match = np.ones((len(stg.transitions), m), dtype=bool)
+    for k, t in enumerate(stg.transitions):
+        for i, ch in enumerate(t.input_cube):
+            if ch == "1":
+                match[k] &= bits[:, i] == 1
+            elif ch == "0":
+                match[k] &= bits[:, i] == 0
+    return match @ minterm_p
 
 
 def transition_matrix(stg: STG,
-                      bit_probs: Optional[Sequence[float]] = None
+                      bit_probs: Optional[Sequence[float]] = None,
+                      engine: str = "fast"
                       ) -> Tuple[np.ndarray, Dict[str, int]]:
     """Row-stochastic matrix P[i, j] = P(next = j | current = i).
 
     Unspecified input minterms follow the STG completion convention
     (self-loop).  ``bit_probs[i]`` is the probability input bit i is 1.
+
+    The default engine batches the per-state minterm enumeration into
+    vectorized numpy (one pass over the ``2^n_inputs`` space for all
+    transitions at once); ``engine="reference"`` walks each cube with
+    scalar products.  Both agree to float round-off; machines with
+    more than ``_MAX_MINTERM_BITS`` input bits always use the scalar
+    cube products.
     """
     index = {s: i for i, s in enumerate(stg.states)}
     n = len(stg.states)
     matrix = np.zeros((n, n))
-    n_minterms = 1 << stg.n_inputs
     if bit_probs is None:
         bit_probs = [0.5] * stg.n_inputs
 
-    for state in stg.states:
-        i = index[state]
-        remaining = 1.0
-        outgoing = stg.transitions_from(state)
-        # Deterministic STGs have disjoint cubes, so fractions add up.
-        for t in outgoing:
-            frac = t.input_fraction(bit_probs)
-            matrix[i, index[t.dst]] += frac
-            remaining -= frac
-        if remaining > 1e-12:
-            matrix[i, i] += remaining  # completion self-loop
+    if engine == "fast" and stg.n_inputs <= _MAX_MINTERM_BITS \
+            and stg.transitions:
+        fracs = _minterm_fractions(stg, bit_probs)
+        src = np.array([index[t.src] for t in stg.transitions])
+        dst = np.array([index[t.dst] for t in stg.transitions])
+        np.add.at(matrix, (src, dst), fracs)
+        remaining = np.ones(n)
+        np.subtract.at(remaining, src, fracs)
+        fill = np.where(remaining > 1e-12, remaining, 0.0)
+        matrix[np.arange(n), np.arange(n)] += fill
+    else:
+        for state in stg.states:
+            i = index[state]
+            remaining = 1.0
+            outgoing = stg.transitions_from(state)
+            # Deterministic STGs have disjoint cubes, so fractions
+            # add up.
+            for t in outgoing:
+                frac = t.input_fraction(bit_probs)
+                matrix[i, index[t.dst]] += frac
+                remaining -= frac
+            if remaining > 1e-12:
+                matrix[i, i] += remaining  # completion self-loop
     # Normalize tiny numerical drift.
     matrix /= matrix.sum(axis=1, keepdims=True)
     return matrix, index
@@ -138,11 +189,21 @@ def transition_entropy(stg: STG,
 
 
 def expected_state_line_switching(stg: STG, codes: Dict[str, int],
-                                  bit_probs: Optional[Sequence[float]] = None
-                                  ) -> float:
+                                  bit_probs: Optional[Sequence[float]] = None,
+                                  engine: str = "fast") -> float:
     """Expected state-register bit flips per cycle for an encoding."""
     probs = transition_probabilities(stg, bit_probs)
+    if engine == "fast" and probs and \
+            max(codes.values(), default=0).bit_length() <= 63:
+        from repro.rtl import faststreams
+        pairs = list(probs)
+        code_list = [codes[a] for a, _b in pairs] \
+            + [codes[b] for _a, b in pairs]
+        k = len(pairs)
+        return faststreams.weighted_hamming(
+            code_list, np.arange(k), np.arange(k, 2 * k),
+            [probs[pair] for pair in pairs])
     total = 0.0
     for (si, sj), p in probs.items():
-        total += p * bin(codes[si] ^ codes[sj]).count("1")
+        total += p * popcount(codes[si] ^ codes[sj])
     return total

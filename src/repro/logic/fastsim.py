@@ -146,21 +146,32 @@ def pack_streams(input_ports: Sequence[Tuple[str, int]],
     ``input_ports`` is the RTL component port list ((bus prefix,
     width) pairs); ``streams`` the matching word streams.  Column
     ``i`` of a stream becomes the lane of net ``f"{prefix}{i}"``.
+
+    Streams carrying cached bit planes (:class:`~repro.rtl.streams.
+    WordStream`) hand their lanes over directly — the per-cycle
+    column scatter below only runs for plain word-list objects.
     """
     if length is None:
         length = min(len(s) for s in streams)
+    lane_mask = (1 << length) - 1
     names: List[str] = []
     words: Dict[str, int] = {}
     for (prefix, width), stream in zip(input_ports, streams):
-        columns = [0] * width
-        bit = 1
-        for t in range(length):
-            word = stream.words[t]
-            if word:
-                for i in range(width):
-                    if (word >> i) & 1:
-                        columns[i] |= bit
-            bit <<= 1
+        planes = getattr(stream, "bit_planes", None)
+        if planes is not None:
+            lanes = planes().lanes
+            columns = [(lanes[i] & lane_mask) if i < len(lanes) else 0
+                       for i in range(width)]
+        else:
+            columns = [0] * width
+            bit = 1
+            for t in range(length):
+                word = stream.words[t]
+                if word:
+                    for i in range(width):
+                        if (word >> i) & 1:
+                            columns[i] |= bit
+                bit <<= 1
         for i in range(width):
             name = f"{prefix}{i}"
             names.append(name)

@@ -56,12 +56,13 @@ SMOKE_BENCHES = [
     "bench_perf_fastsim.py",
     "bench_perf_bdd.py",
     "bench_perf_eventsim.py",
+    "bench_perf_streams.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
 #: each: entries carry a ``speedup`` field compared against baseline.
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
-                  "BENCH_eventsim.json"]
+                  "BENCH_eventsim.json", "BENCH_streams.json"]
 
 
 def default_repo_root() -> Path:

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cdfg.graph import Cdfg, CdfgNode
 from repro.cdfg.schedule import Schedule
+from repro.rtl import faststreams
+from repro.util.bits import hamming
 
 
 # ----------------------------------------------------------------------
@@ -85,15 +87,40 @@ def left_edge_registers(lifetimes: Sequence[Lifetime]) -> Dict[int, int]:
 # ----------------------------------------------------------------------
 
 def average_switch_fraction(values_a: Sequence[int],
-                            values_b: Sequence[int], width: int) -> float:
+                            values_b: Sequence[int], width: int,
+                            engine: str = "fast") -> float:
     """Average fraction of bits flipping when b's data follows a's."""
     if not values_a or not values_b:
         return 0.5
-    total = 0
     n = min(len(values_a), len(values_b))
-    for t in range(n):
-        total += bin(values_a[t] ^ values_b[t]).count("1")
+    if engine == "fast":
+        total = faststreams.cross_hamming(values_a, values_b, width)
+    else:
+        total = sum(hamming(values_a[t], values_b[t]) for t in range(n))
     return total / (n * width)
+
+
+def pairwise_switch_fractions(uids: Sequence[int],
+                              traces: Dict[int, Sequence[int]],
+                              width: int) -> Dict[Tuple[int, int], float]:
+    """Switch fractions for every uid pair, via one packed matrix.
+
+    Equivalent to calling :func:`average_switch_fraction` on each of
+    the O(n^2) pairs, but each trace is packed once and every pair
+    costs a single xor+popcount over the packed bignums.
+    """
+    trace_list = [traces[uid] for uid in uids]
+    matrix = faststreams.pairwise_hamming_matrix(trace_list, width)
+    fractions: Dict[Tuple[int, int], float] = {}
+    for i, a in enumerate(uids):
+        for j in range(i + 1, len(uids)):
+            b = uids[j]
+            n = min(len(trace_list[i]), len(trace_list[j]))
+            if n == 0:
+                fractions[(a, b)] = 0.5
+            else:
+                fractions[(a, b)] = matrix[i][j] / (n * width)
+    return fractions
 
 
 # ----------------------------------------------------------------------
@@ -146,16 +173,31 @@ def _merge_allocate(items: Sequence[int],
 
 def _binding_switching(order_by_resource: Dict[int, List[int]],
                        traces: Dict[int, List[int]],
-                       width: int) -> float:
+                       width: int, engine: str = "fast") -> float:
     """Bits switched per iteration at shared-resource inputs."""
     total = 0.0
     cycles = len(next(iter(traces.values()))) if traces else 1
+    if engine == "fast":
+        packs: Dict[int, int] = {}
+
+        def packed(uid: int) -> int:
+            if uid not in packs:
+                packs[uid] = faststreams.pack_words(traces[uid], width)
+            return packs[uid]
+
+        for uids in order_by_resource.values():
+            if len(uids) < 2:
+                continue
+            for a, b in zip(uids, uids[1:]):
+                total += faststreams.cross_hamming(
+                    traces[a], traces[b], width, packed(a), packed(b))
+        return total / max(1, cycles)
     for uids in order_by_resource.values():
         if len(uids) < 2:
             continue
         for t in range(cycles):
             for a, b in zip(uids, uids[1:]):
-                total += bin(traces[a][t] ^ traces[b][t]).count("1")
+                total += hamming(traces[a][t], traces[b][t])
     return total / max(1, cycles)
 
 
@@ -178,14 +220,14 @@ def allocate_registers(cdfg: Cdfg, schedule: Schedule,
     def build(weighted: bool) -> AllocationResult:
         compatible: Dict[Tuple[int, int], bool] = {}
         weight: Dict[Tuple[int, int], float] = {}
+        fractions = pairwise_switch_fractions(uids, traces, cdfg.width) \
+            if weighted else {}
         for i, a in enumerate(uids):
             for b in uids[i + 1:]:
                 key = (a, b)
                 compatible[key] = not by_uid[a].overlaps(by_uid[b])
                 if weighted:
-                    ws = average_switch_fraction(traces[a], traces[b],
-                                                 cdfg.width)
-                    weight[key] = 1.0 * (1.0 - ws)
+                    weight[key] = 1.0 * (1.0 - fractions[key])
                 else:
                     weight[key] = 1.0
         assignment = _merge_allocate(uids, compatible, weight)
@@ -230,8 +272,13 @@ def bind_functional_units(cdfg: Cdfg, schedule: Schedule,
 
     for kind, nodes in by_kind.items():
         uids = sorted(n.uid for n in nodes)
+        op_traces = {uid: _operand_trace(cdfg, traces, uid)
+                     for uid in uids}
         compatible: Dict[Tuple[int, int], bool] = {}
         weight: Dict[Tuple[int, int], float] = {}
+        fractions = pairwise_switch_fractions(uids, op_traces,
+                                              cdfg.width) \
+            if activity_aware else {}
         for i, a in enumerate(uids):
             for b in uids[i + 1:]:
                 key = (a, b)
@@ -240,10 +287,7 @@ def bind_functional_units(cdfg: Cdfg, schedule: Schedule,
                 compatible[key] = (a_busy[1] < b_busy[0]
                                    or b_busy[1] < a_busy[0])
                 if activity_aware:
-                    wa = _operand_trace(cdfg, traces, a)
-                    wb = _operand_trace(cdfg, traces, b)
-                    ws = average_switch_fraction(wa, wb, cdfg.width)
-                    weight[key] = 1.0 - ws
+                    weight[key] = 1.0 - fractions[key]
                 else:
                     weight[key] = 1.0
         assignment = _merge_allocate(uids, compatible, weight)
@@ -252,8 +296,6 @@ def bind_functional_units(cdfg: Cdfg, schedule: Schedule,
             order.setdefault(assignment[uid], []).append(uid)
         for group in order.values():
             group.sort(key=lambda u: schedule.steps[u])
-        op_traces = {uid: _operand_trace(cdfg, traces, uid)
-                     for uid in uids}
         cost = _binding_switching(order, op_traces, cdfg.width)
         results[kind] = AllocationResult(assignment, len(order), cost)
     return results

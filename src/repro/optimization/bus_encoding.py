@@ -32,18 +32,22 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.rtl import faststreams
 from repro.rtl.streams import WordStream
-
-
-def hamming(a: int, b: int) -> int:
-    return bin(a ^ b).count("1")
+from repro.util.bits import hamming
 
 
 class BusCode:
-    """Stateful encoder/decoder pair for an N-bit bus."""
+    """Stateful encoder/decoder pair for an N-bit bus.
+
+    ``stateless = True`` marks purely combinational codes (the bus
+    value depends only on the current word): their transition counts
+    can be evaluated on the packed word-stream path.
+    """
 
     name = "base"
     extra_lines = 0
+    stateless = False
 
     def __init__(self, width: int) -> None:
         self.width = width
@@ -66,6 +70,7 @@ class BusCode:
 
 class BinaryCode(BusCode):
     name = "binary"
+    stateless = True
 
     def encode(self, word: int) -> int:
         return word
@@ -166,6 +171,7 @@ def from_gray(gray: int) -> int:
 
 class GrayCode(BusCode):
     name = "gray"
+    stateless = True
 
     def encode(self, word: int) -> int:
         return to_gray(word & ((1 << self.width) - 1))
@@ -337,6 +343,7 @@ class BeachCode(BusCode):
     """
 
     name = "beach"
+    stateless = True
 
     def __init__(self, width: int, cluster_bits: int = 4) -> None:
         super().__init__(width)
@@ -360,9 +367,9 @@ class BeachCode(BusCode):
             # Validate on the training trace: an uncorrelated cluster
             # gains nothing from re-mapping, so keep it unencoded
             # (fewer XOR stages at the bus terminals, too).
-            plain = sum(hamming(a, b) for a, b in zip(values, values[1:]))
-            mapped = sum(hamming(mapping[a], mapping[b])
-                         for a, b in zip(values, values[1:]))
+            plain = faststreams.transition_count(values, len(cluster))
+            mapped = faststreams.transition_count(
+                [mapping[v] for v in values], len(cluster))
             if mapped >= 0.9 * plain:
                 mapping = {v: v for v in range(1 << len(cluster))}
             self.maps.append(mapping)
@@ -371,12 +378,20 @@ class BeachCode(BusCode):
     def _cluster_lines(self, trace: Sequence[int]) -> List[List[int]]:
         import numpy as np
 
-        bits = np.array([[(w >> i) & 1 for i in range(self.width)]
-                         for w in trace], dtype=float)
-        if bits.std(axis=0).min() == 0:
-            bits += np.random.default_rng(0).normal(
-                0, 1e-6, bits.shape)
-        corr = np.abs(np.corrcoef(bits.T))
+        planes = faststreams.pack_planes(trace, self.width)
+        counts = faststreams.one_counts(planes)
+        if 0 < len(trace) and all(0 < c < len(trace) for c in counts):
+            # No constant line: the packed lane–lane correlation (one
+            # popcount per lane pair) replaces the n x width float
+            # matrix of the reference path.
+            corr = np.abs(faststreams.correlation_matrix(planes))
+        else:
+            # Constant lines need the reference jitter to keep
+            # corrcoef finite; this degenerate path stays scalar.
+            bits = np.array([[(w >> i) & 1 for i in range(self.width)]
+                             for w in trace], dtype=float)
+            bits += np.random.default_rng(0).normal(0, 1e-6, bits.shape)
+            corr = np.abs(np.corrcoef(bits.T))
         unassigned = set(range(self.width))
         clusters: List[List[int]] = []
         while unassigned:
@@ -468,16 +483,38 @@ class BusReport:
 
 
 def count_transitions(code: BusCode, stream: WordStream,
-                      check_decode: bool = True) -> BusReport:
-    """Drive the stream through the code; count bus-line transitions."""
+                      check_decode: bool = True,
+                      engine: str = "fast") -> BusReport:
+    """Drive the stream through the code; count bus-line transitions.
+
+    Stateless (combinational) codes take the packed path on the
+    default ``engine="fast"``: the encoded word list is counted with
+    one shifted-xor popcount instead of a per-cycle Hamming loop.
+    Stateful codes always run the scalar reference loop (their encode
+    order *is* the state).  Both engines return identical counts.
+    """
     code.reset()
+    mask = (1 << code.width) - 1
+    if engine == "fast" and code.stateless:
+        encoded = [code.encode(word) for word in stream.words]
+        if check_decode:
+            for word, bus_value in zip(stream.words, encoded):
+                decoded = code.decode(bus_value)
+                if decoded != word & mask:
+                    raise AssertionError(
+                        f"{code.name}: decode mismatch "
+                        f"{decoded} != {word}")
+        transitions = faststreams.transition_count(encoded,
+                                                   code.total_lines)
+        return BusReport(code.name, transitions, len(stream.words),
+                         code.total_lines)
     prev: Optional[int] = None
     transitions = 0
     for word in stream.words:
         bus_value = code.encode(word)
         if check_decode:
             decoded = code.decode(bus_value)
-            if decoded != word & ((1 << code.width) - 1):
+            if decoded != word & mask:
                 raise AssertionError(
                     f"{code.name}: decode mismatch {decoded} != {word}")
         if prev is not None:

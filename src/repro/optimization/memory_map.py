@@ -25,6 +25,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.estimation.parametric import MemoryArray
+from repro.rtl import faststreams
+from repro.util.bits import hamming
+
+
+def bus_transitions(addresses: Sequence[int],
+                    engine: str = "fast") -> int:
+    """Total address-bus line toggles over an access trace."""
+    if engine == "fast":
+        width = max((a.bit_length() for a in addresses), default=0) or 1
+        return faststreams.transition_count(addresses, width)
+    total = 0
+    for a, b in zip(addresses, addresses[1:]):
+        total += hamming(a, b)
+    return total
 
 
 @dataclass(frozen=True)
@@ -34,13 +48,6 @@ class Access:
     array: str
     index: int
     is_write: bool = False
-
-
-def bus_transitions(addresses: Sequence[int]) -> int:
-    total = 0
-    for a, b in zip(addresses, addresses[1:]):
-        total += bin(a ^ b).count("1")
-    return total
 
 
 # ----------------------------------------------------------------------

@@ -15,17 +15,26 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
 class WordStream:
-    """A sequence of ``width``-bit words."""
+    """A sequence of ``width``-bit words.
+
+    Packed representations (bit planes and the word-concatenated
+    bignum, see :mod:`repro.rtl.faststreams`) are cached on the
+    stream.  Appending or removing words invalidates the cache
+    automatically (the cached length no longer matches); mutating a
+    word *in place* requires an explicit :meth:`invalidate`.
+    """
 
     words: List[int]
     width: int
     name: str = "stream"
+    _cache: Dict[str, Tuple[int, Any]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         mask = (1 << self.width) - 1
@@ -40,6 +49,34 @@ class WordStream:
     def __getitem__(self, i):
         return self.words[i]
 
+    def invalidate(self) -> None:
+        """Drop cached packed representations after in-place edits."""
+        self._cache.clear()
+
+    def _cached(self, key: str, build):
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == len(self.words):
+            return entry[1]
+        value = build()
+        self._cache[key] = (len(self.words), value)
+        return value
+
+    def bit_planes(self):
+        """Cached bit-plane transpose (one bignum per bit lane)."""
+        from repro.rtl import faststreams
+
+        return self._cached(
+            "planes",
+            lambda: faststreams.pack_planes(self.words, self.width))
+
+    def packed_words(self) -> int:
+        """Cached word-concatenated bignum at stride ``width``."""
+        from repro.rtl import faststreams
+
+        return self._cached(
+            "packed",
+            lambda: faststreams.pack_words(self.words, self.width))
+
     def bit(self, word: int, i: int) -> int:
         return (word >> i) & 1
 
@@ -47,7 +84,12 @@ class WordStream:
         return [(self.words[t] >> i) & 1 for i in range(self.width)]
 
     def as_vectors(self, prefix: str) -> List[Dict[str, int]]:
-        """Per-cycle input dicts for a gate-level bus ``prefix``."""
+        """Per-cycle input dicts for a gate-level bus ``prefix``.
+
+        The packed gate-level handoff (:func:`repro.logic.fastsim.
+        pack_streams`) consumes :meth:`bit_planes` directly and skips
+        this per-cycle dict materialization entirely.
+        """
         return [{f"{prefix}{i}": (w >> i) & 1 for i in range(self.width)}
                 for w in self.words]
 
@@ -114,34 +156,64 @@ def counter_stream(width: int, length: int, start: int = 0,
 # ----------------------------------------------------------------------
 # Statistics
 # ----------------------------------------------------------------------
+# Each statistic keeps its scalar loop as the ``engine="reference"``
+# cross-check; the default ``engine="fast"`` path runs on the cached
+# bit planes (one popcount per lane) with bit-identical results —
+# the integer counts are equal, and the derived rates are the same
+# integers through the same final division.
 
-def bit_activities(stream: WordStream) -> List[float]:
-    """Per-bit toggles per cycle (E_i of the bitwise macro-model)."""
+def bit_activities(stream: WordStream, engine: str = "fast"
+                   ) -> List[float]:
+    """Per-bit toggles per cycle (E_i of the bitwise macro-model).
+
+    Streams of length <= 1 have no transitions: all-zero activities.
+    """
     if len(stream) < 2:
         return [0.0] * stream.width
+    if engine == "fast":
+        from repro.rtl import faststreams
+
+        counts = faststreams.toggle_counts(stream.bit_planes())
+    else:
+        counts = _bit_toggle_counts_reference(stream)
+    return [c / (len(stream) - 1) for c in counts]
+
+
+def _bit_toggle_counts_reference(stream: WordStream) -> List[int]:
     counts = [0] * stream.width
     for prev, cur in zip(stream.words, stream.words[1:]):
         diff = prev ^ cur
         for i in range(stream.width):
             if (diff >> i) & 1:
                 counts[i] += 1
-    return [c / (len(stream) - 1) for c in counts]
+    return counts
 
 
-def average_activity(stream: WordStream) -> float:
-    acts = bit_activities(stream)
+def average_activity(stream: WordStream, engine: str = "fast") -> float:
+    acts = bit_activities(stream, engine=engine)
     return sum(acts) / len(acts) if acts else 0.0
 
 
-def bit_probabilities(stream: WordStream) -> List[float]:
+def bit_probabilities(stream: WordStream, engine: str = "fast"
+                      ) -> List[float]:
     if not len(stream):
         return [0.0] * stream.width
+    if engine == "fast":
+        from repro.rtl import faststreams
+
+        counts = faststreams.one_counts(stream.bit_planes())
+    else:
+        counts = _bit_one_counts_reference(stream)
+    return [c / len(stream) for c in counts]
+
+
+def _bit_one_counts_reference(stream: WordStream) -> List[int]:
     counts = [0] * stream.width
     for w in stream.words:
         for i in range(stream.width):
             if (w >> i) & 1:
                 counts[i] += 1
-    return [c / len(stream) for c in counts]
+    return counts
 
 
 def _entropy(p: float) -> float:
@@ -169,10 +241,28 @@ def word_entropy(stream: WordStream) -> float:
     return -sum((c / n) * math.log2(c / n) for c in counts.values())
 
 
-def sign_transition_counts(stream: WordStream) -> Dict[str, int]:
+def sign_transition_counts(stream: WordStream, engine: str = "fast"
+                           ) -> Dict[str, int]:
     """Counts of sign transitions ++, +-, -+, -- (DBT model inputs)."""
     sign_bit = stream.width - 1
     counts = {"++": 0, "+-": 0, "-+": 0, "--": 0}
+    if len(stream) < 2:
+        return counts
+    if engine == "fast":
+        from repro.util.bits import popcount
+
+        # Bit t of the sign lane is the sign of word t; shifting by
+        # one aligns each word's sign with its successor's.
+        lane = stream.bit_planes().lanes[sign_bit]
+        n = len(stream)
+        mask = (1 << (n - 1)) - 1
+        nxt = lane >> 1
+        counts["--"] = popcount(lane & nxt & mask)
+        counts["-+"] = popcount(lane & ~nxt & mask)
+        counts["+-"] = popcount(~lane & nxt & mask)
+        counts["++"] = (n - 1) - counts["--"] - counts["-+"] \
+            - counts["+-"]
+        return counts
     for prev, cur in zip(stream.words, stream.words[1:]):
         a = "-" if (prev >> sign_bit) & 1 else "+"
         b = "-" if (cur >> sign_bit) & 1 else "+"

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.util.bits import popcount
+
 #: opcode -> (numeric code, class)
 OPCODES: Dict[str, Tuple[int, str]] = {
     "NOP": (0x00, "nop"),
@@ -102,7 +104,7 @@ def encode(instr: Instruction) -> int:
 
 
 def hamming32(a: int, b: int) -> int:
-    return bin((a ^ b) & 0xFFFFFFFF).count("1")
+    return popcount((a ^ b) & 0xFFFFFFFF)
 
 
 def energy_params() -> Dict[str, object]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from repro.util.bits import popcount
+
 
 class Cube:
     """Product term over ``n`` Boolean variables."""
@@ -62,7 +64,7 @@ class Cube:
 
     def literals(self) -> int:
         """Number of literals (specified variables) in the cube."""
-        return bin(self.care).count("1")
+        return popcount(self.care)
 
     def size(self) -> int:
         """Number of minterms covered: 2**(n - literals)."""

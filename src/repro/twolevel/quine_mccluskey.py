@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.twolevel.cubes import Cube, Cover
+from repro.util.bits import popcount
 
 
 def prime_implicants(n: int, onset: Sequence[int],
@@ -31,7 +32,7 @@ def prime_implicants(n: int, onset: Sequence[int],
         # Group by care mask and popcount of value for fast adjacency.
         groups: Dict[Tuple[int, int], List[Cube]] = {}
         for cube in current:
-            key = (cube.care, bin(cube.value).count("1"))
+            key = (cube.care, popcount(cube.value))
             groups.setdefault(key, []).append(cube)
         for (care, ones), cubes in groups.items():
             partners = groups.get((care, ones + 1), [])

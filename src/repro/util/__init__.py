@@ -1,0 +1,5 @@
+"""repro.util — small shared primitives used across subsystems."""
+
+from repro.util.bits import hamming, popcount
+
+__all__ = ["popcount", "hamming"]

@@ -1,0 +1,29 @@
+"""Shared popcount / Hamming primitives.
+
+Every word-level cost function in the codebase — bus transition
+counts, register/FU allocation switching matrices, FSM encoding
+objectives, instruction-bus toggles — bottoms out in "how many bits
+differ between these two integers".  This module is the single home
+for that primitive so the hot paths all use ``int.bit_count()`` (a
+C-level population count, Python >= 3.10) instead of the
+``bin(x).count("1")`` string round-trip, with the string fallback kept
+for 3.9 interpreters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["popcount", "hamming"]
+
+if hasattr(int, "bit_count"):          # Python >= 3.10
+    def popcount(x: int) -> int:
+        """Number of set bits in a non-negative integer."""
+        return x.bit_count()
+else:                                  # pragma: no cover - 3.9 fallback
+    def popcount(x: int) -> int:
+        """Number of set bits in a non-negative integer."""
+        return bin(x).count("1")
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two non-negative integers."""
+    return popcount(a ^ b)
