@@ -1,0 +1,158 @@
+"""Perf — numpy uint64 lane backend vs. the native bignum engine.
+
+Not a paper figure: this bench guards the backend seam introduced by
+``repro.backend``.  The same exec-compiled plans run on two word
+representations — arbitrary-precision integers ("bignum", the fast
+engine's native form) and little-endian ``uint64`` lane arrays
+("numpy") — and must stay bit-identical while the lane backend pays
+off on long traces:
+
+- combinational narrow traces (>= 1M cycles): numpy >= 2x over bignum,
+- feed-forward sequential traces (>= 1M cycles): numpy >= 2x,
+- tight-feedback circuits (a counter): the lane backend *declines*
+  during settling (``BackendUnavailable``) and the dispatcher falls
+  back to bignum, so ``engine="numpy"`` stays within noise of
+  ``engine="fast"`` instead of degrading by orders of magnitude.
+
+Measured speedups are recorded in ``BENCH_backends.json`` at the repo
+root and ratio-gated against the committed baseline by the bench
+orchestrator.
+"""
+
+import pytest
+
+from _perf_common import REPO_ROOT, measure, record
+
+from conftest import shape
+
+from repro.backend.core import numpy_available
+from repro.logic import fastsim
+from repro.logic.generators import counter, random_logic, shift_register
+from repro.logic.simulate import collect_activity
+
+RESULTS_PATH = REPO_ROOT / "BENCH_backends.json"
+
+CYCLES = 1 << 20
+
+
+def _record(entry: dict) -> None:
+    record(RESULTS_PATH, entry.pop("key"), entry)
+
+
+def _require_numpy() -> None:
+    if not numpy_available():
+        pytest.skip("numpy unavailable (or REPRO_NO_NUMPY=1)")
+
+
+def _compare_backends(circuit, vectors, key, repeats=3):
+    # Compile (and warm the plan cache) outside the timed region.
+    fastsim.compile_circuit(circuit)
+    big_report = fastsim.collect_activity(circuit, vectors)
+    np_report = fastsim.collect_activity_backend(circuit, vectors,
+                                                 backend="numpy")
+
+    shape("backends bit-identical before timing",
+          big_report.toggles == np_report.toggles
+          and big_report.ones == np_report.ones
+          and big_report.switched_capacitance
+          == np_report.switched_capacitance
+          and big_report.clock_capacitance
+          == np_report.clock_capacitance)
+
+    t_big = measure(lambda: fastsim.collect_activity(circuit, vectors),
+                    repeats=repeats)
+    t_np = measure(lambda: fastsim.collect_activity_backend(
+        circuit, vectors, backend="numpy"), repeats=repeats)
+    speedup = t_big / max(t_np, 1e-9)
+    _record({
+        "key": key,
+        "circuit": circuit.name,
+        "gates": circuit.gate_count(),
+        "cycles": len(vectors),
+        "bignum_s": round(t_big, 6),
+        "numpy_s": round(t_np, 6),
+        "speedup": round(speedup, 2),
+    })
+    return t_big, t_np, speedup
+
+
+def test_perf_combinational_lanes(once):
+    """Narrow combinational batch, one lane pass: numpy >= 2x."""
+    _require_numpy()
+    circuit = random_logic(16, 200, 4, seed=7)
+    vectors = fastsim.random_packed_vectors(
+        list(circuit.inputs), CYCLES, seed=1)
+
+    t_big, t_np, speedup = once(
+        lambda: _compare_backends(circuit, vectors,
+                                  key="combinational_narrow_1m",
+                                  repeats=5))
+    print()
+    print(f"Perf: combinational {circuit.gate_count()} gates x "
+          f"{CYCLES} cycles: bignum {t_big * 1e3:.1f} ms, numpy "
+          f"{t_np * 1e3:.1f} ms  ->  {speedup:.2f}x")
+    shape(f"numpy backend >= 2x on >=1M-cycle narrow combinational "
+          f"traces (got {speedup:.2f}x)", speedup >= 2.0)
+
+
+def test_perf_sequential_feedforward_lanes(once):
+    """Feed-forward sequential trace (register pipeline): settling
+    converges in the register depth, so lane chunks stay large and
+    numpy must clear 2x here too."""
+    _require_numpy()
+    circuit = shift_register(16)
+    vectors = fastsim.random_packed_vectors(
+        list(circuit.inputs), CYCLES, seed=5)
+
+    t_big, t_np, speedup = once(
+        lambda: _compare_backends(circuit, vectors,
+                                  key="sequential_feedforward_1m",
+                                  repeats=3))
+    print()
+    print(f"Perf: shift_register(16) x {CYCLES} cycles: bignum "
+          f"{t_big * 1e3:.1f} ms, numpy {t_np * 1e3:.1f} ms  ->  "
+          f"{speedup:.2f}x")
+    shape(f"numpy backend >= 2x on >=1M-cycle feed-forward sequential "
+          f"traces (got {speedup:.2f}x)", speedup >= 2.0)
+
+
+def test_perf_tight_feedback_fallback(once):
+    """Tight feedback: the lane backend declines (settling passes
+    scale with the trace) and the public dispatcher falls back to
+    bignum, so ``engine="numpy"`` must stay within noise of
+    ``engine="fast"`` rather than losing by orders of magnitude."""
+    _require_numpy()
+    circuit = counter(12)
+    vectors = fastsim.random_packed_vectors(
+        list(circuit.inputs), CYCLES, seed=3)
+
+    def experiment():
+        fastsim.compile_circuit(circuit)
+        fast_report = collect_activity(circuit, vectors, engine="fast")
+        np_report = collect_activity(circuit, vectors, engine="numpy")
+        shape("fallback dispatch bit-identical",
+              fast_report.toggles == np_report.toggles
+              and fast_report.ones == np_report.ones)
+        t_fast = measure(lambda: collect_activity(circuit, vectors,
+                                                  engine="fast"))
+        t_np = measure(lambda: collect_activity(circuit, vectors,
+                                                engine="numpy"))
+        ratio = t_fast / max(t_np, 1e-9)
+        _record({
+            "key": "sequential_tight_feedback_fallback_1m",
+            "circuit": circuit.name,
+            "gates": circuit.gate_count(),
+            "cycles": len(vectors),
+            "fast_s": round(t_fast, 6),
+            "numpy_dispatch_s": round(t_np, 6),
+            "speedup": round(ratio, 2),
+        })
+        return t_fast, t_np, ratio
+
+    t_fast, t_np, ratio = once(experiment)
+    print()
+    print(f"Perf: counter(12) x {CYCLES} cycles: fast "
+          f"{t_fast * 1e3:.1f} ms, numpy-dispatch (bails to bignum) "
+          f"{t_np * 1e3:.1f} ms  ->  {ratio:.2f}x")
+    shape(f"settle bail keeps numpy dispatch within noise of the fast "
+          f"engine (got {ratio:.2f}x, need >= 0.7x)", ratio >= 0.7)

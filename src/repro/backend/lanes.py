@@ -1,0 +1,171 @@
+"""Numpy ``uint64`` lane-array backend.
+
+An ``n``-bit packed word is a little-endian array of
+``L = ceil(n / 64)`` lanes: bit ``t`` of the word is bit ``t % 64`` of
+lane ``t // 64``.  The compiled gate kernels run unchanged — numpy's
+``& | ^`` operate lane-wise over whole arrays, one machine-word AND
+per 64 cycles — while the shape-aware primitives here carry bits
+across lane boundaries for time shifts and unaligned extraction.
+
+The invariant maintained by every constructor and primitive: the bits
+above ``n`` in the last lane are zero, so popcounts and equality need
+no re-masking.  Plain Python ints interoperate two ways: ``0`` is a
+valid all-zeros word (broadcasting), and any primitive that receives
+an int coerces or short-circuits it, because compiled plans seed
+CONST/state slots with ints before the first array op replaces them.
+"""
+
+from __future__ import annotations
+
+from repro.backend.core import Backend, BackendUnavailable, numpy_or_none
+from repro.util.bits import popcount as _int_popcount
+
+__all__ = ["NumpyLaneBackend"]
+
+_LANE = 64
+
+
+class NumpyLaneBackend(Backend):
+    """Packed words as little-endian ``uint64`` lane arrays."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        np = numpy_or_none()
+        if np is None:
+            raise BackendUnavailable("numpy is unavailable")
+        self.np = np
+        self._has_bitwise_count = hasattr(np, "bitwise_count")
+
+    # -- helpers -----------------------------------------------------
+    @staticmethod
+    def lane_count(n: int) -> int:
+        return (n + _LANE - 1) // _LANE
+
+    def _coerce(self, w, n: int):
+        """Promote a plain int word to a lane array."""
+        if isinstance(w, int):
+            return self.from_int(w & ((1 << n) - 1), n)
+        return w
+
+    # -- construction ------------------------------------------------
+    def zeros(self, n: int):
+        return self.np.zeros(self.lane_count(n), dtype=self.np.uint64)
+
+    def ones_mask(self, n: int):
+        np = self.np
+        out = np.full(self.lane_count(n), np.uint64(0xFFFFFFFFFFFFFFFF),
+                      dtype=np.uint64)
+        rem = n & (_LANE - 1)
+        if rem and len(out):
+            out[-1] = np.uint64((1 << rem) - 1)
+        return out
+
+    def low_mask(self, c: int, n: int):
+        np = self.np
+        out = np.zeros(self.lane_count(n), dtype=np.uint64)
+        full, rem = divmod(c, _LANE)
+        out[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            out[full] = np.uint64((1 << rem) - 1)
+        return out
+
+    def from_int(self, word: int, n: int):
+        np = self.np
+        nlanes = self.lane_count(n)
+        raw = word.to_bytes(nlanes * 8, "little")
+        return np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+
+    def to_int(self, w) -> int:
+        if isinstance(w, int):
+            return w
+        return int.from_bytes(
+            w.astype("<u8", copy=False).tobytes(), "little")
+
+    # -- queries -----------------------------------------------------
+    def popcount(self, w) -> int:
+        if isinstance(w, int):
+            return _int_popcount(w)
+        if self._has_bitwise_count:
+            return int(self.np.bitwise_count(w).sum())
+        return _int_popcount(self.to_int(w))
+
+    def nonzero(self, w) -> bool:
+        if isinstance(w, int):
+            return bool(w)
+        return bool(w.any())
+
+    def equal(self, a, b) -> bool:
+        if isinstance(a, int) or isinstance(b, int):
+            return self.to_int(a) == self.to_int(b)
+        return bool(self.np.array_equal(a, b))
+
+    def get_bit(self, w, t: int) -> int:
+        if isinstance(w, int):
+            return (w >> t) & 1
+        return int(w[t >> 6] >> self.np.uint64(t & (_LANE - 1))) & 1
+
+    # -- time shifts & slicing --------------------------------------
+    def shift_in_time(self, w, n: int, carry: int = 0):
+        np = self.np
+        w = self._coerce(w, n)
+        out = w << np.uint64(1)
+        out[1:] |= w[:-1] >> np.uint64(_LANE - 1)
+        if carry and len(out):
+            out[0] |= np.uint64(1)
+        rem = n & (_LANE - 1)
+        if rem and len(out):
+            out[-1] &= np.uint64((1 << rem) - 1)
+        return out
+
+    def shift_out_time(self, w):
+        np = self.np
+        if isinstance(w, int):
+            return w >> 1
+        out = w >> np.uint64(1)
+        out[:-1] |= w[1:] << np.uint64(_LANE - 1)
+        return out
+
+    def toggle_count(self, w, n: int, carry: int = 0) -> int:
+        np = self.np
+        w = self._coerce(w, n)
+        d = w << np.uint64(1)
+        d[1:] |= w[:-1] >> np.uint64(_LANE - 1)
+        if carry and len(d):
+            d[0] |= np.uint64(1)
+        rem = n & (_LANE - 1)
+        if rem and len(d):
+            d[-1] &= np.uint64((1 << rem) - 1)
+        d ^= w
+        return self.popcount(d)
+
+    def extract(self, w, lo: int, c: int):
+        np = self.np
+        if isinstance(w, int):
+            return self.from_int((w >> lo) & ((1 << c) - 1), c)
+        nlanes = self.lane_count(c)
+        q, r = divmod(lo, _LANE)
+        src = w[q:q + nlanes + 1]
+        if len(src) < nlanes + 1:
+            src = np.concatenate(
+                [src, np.zeros(nlanes + 1 - len(src), dtype=np.uint64)])
+        if r == 0:
+            out = src[:nlanes].copy()
+        else:
+            out = (src[:nlanes] >> np.uint64(r)) \
+                | (src[1:nlanes + 1] << np.uint64(_LANE - r))
+        rem = c & (_LANE - 1)
+        if rem and len(out):
+            out[-1] &= np.uint64((1 << rem) - 1)
+        return out
+
+    def blit(self, dst, src, base: int):
+        if base & (_LANE - 1):
+            raise ValueError("lane blit requires a 64-bit-aligned base")
+        if isinstance(src, int):
+            if not src:
+                return dst
+            src = self.from_int(src, src.bit_length())
+        q = base >> 6
+        dst[q:q + len(src)] |= src
+        return dst

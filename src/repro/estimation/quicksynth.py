@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.backend.core import default_engine, resolve_engine
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.library import ModuleLibrary
 from repro.cdfg.schedule import Schedule, list_schedule
@@ -34,7 +35,7 @@ class QuickSynthesisEstimate:
 
 
 def dynamic_profile(cdfg: Cdfg, input_streams: Dict[str, Sequence[int]],
-                    engine: str = "fast") -> Dict[str, float]:
+                    engine: Optional[str] = None) -> Dict[str, float]:
     """Average word-level activity per operation kind from simulation.
 
     This is "dynamic profiling based on direct simulation of the
@@ -46,8 +47,12 @@ def dynamic_profile(cdfg: Cdfg, input_streams: Dict[str, Sequence[int]],
         values = traces[node.uid]
         if len(values) < 2:
             continue
-        if engine == "fast":
-            toggles = faststreams.transition_count(values, cdfg.width)
+        resolved = resolve_engine(engine, default_engine(),
+                                  cycles=len(values))
+        if resolved != "reference":
+            toggles = faststreams.transition_count(
+                values, cdfg.width,
+                backend="numpy" if resolved == "numpy" else None)
         else:
             toggles = sum(hamming(a, b)
                           for a, b in zip(values, values[1:]))

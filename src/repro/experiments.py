@@ -64,6 +64,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_eventsim.py", kind="perf"),
     Experiment("P4", "bit-plane word-stream engine vs scalar statistics",
                "bench_perf_streams.py", kind="perf"),
+    Experiment("P5", "numpy uint64 lane backend vs native bignum engine",
+               "bench_perf_backends.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [

@@ -17,16 +17,18 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.backend.core import default_engine, numpy_or_none, \
+    resolve_engine
 from repro.fsm.markov import transition_probabilities
 from repro.fsm.stg import STG
 from repro.rtl import faststreams
+from repro.util.bits import MAX_UINT64_CODE_BITS
 from repro.util.bits import hamming as _hamming
 
 #: Codes wider than this cannot be held in a uint64 lane; the
-#: vectorized cost paths fall back to the scalar reference.
-_MAX_VECTOR_BITS = 63
+#: vectorized cost paths fall back to the scalar reference.  Shared
+#: with the Markov switching objective (repro.util.bits).
+_MAX_VECTOR_BITS = MAX_UINT64_CODE_BITS
 
 
 @dataclass
@@ -83,19 +85,25 @@ def random_encoding(stg: STG, seed: int = 0,
 def encoding_switching_cost(stg: STG, encoding: Encoding,
                             bit_probs: Optional[Sequence[float]] = None,
                             probs: Optional[Dict[Tuple[str, str], float]]
-                            = None, engine: str = "fast") -> float:
+                            = None,
+                            engine: Optional[str] = None) -> float:
     """Expected state-line Hamming switching per cycle.
 
     This is the canonical cost  sum_ij p_ij H(E(i), E(j))  that all the
     cited encoding papers minimize (and that the Tyagi bound lower
-    bounds).  The packed engine evaluates it as one vectorized
+    bounds).  The packed engines evaluate it as one vectorized
     popcount over the pair set (agreeing with the scalar reference to
-    float round-off); one-hot-style codes wider than 63 bits fall back
-    to the reference.
+    float round-off); codes wider than
+    :data:`repro.util.bits.MAX_UINT64_CODE_BITS` (e.g. one-hot beyond
+    64 states) fall back to the reference, as does a missing numpy —
+    :func:`repro.rtl.faststreams.weighted_hamming` degrades to the
+    same scalar loop.
     """
     if probs is None:
         probs = transition_probabilities(stg, bit_probs)
-    if engine == "fast" and encoding.n_bits <= _MAX_VECTOR_BITS:
+    engine = resolve_engine(engine, default_engine())
+    if engine != "reference" \
+            and encoding.n_bits <= MAX_UINT64_CODE_BITS:
         pairs = [(a, b) for (a, b) in probs if a != b]
         if not pairs:
             return 0.0
@@ -103,7 +111,7 @@ def encoding_switching_cost(stg: STG, encoding: Encoding,
             + [encoding.codes[b] for _a, b in pairs]
         n = len(pairs)
         return faststreams.weighted_hamming(
-            codes, np.arange(n), np.arange(n, 2 * n),
+            codes, range(n), range(n, 2 * n),
             [probs[pair] for pair in pairs])
     return sum(p * encoding.hamming(a, b) for (a, b), p in probs.items()
                if a != b)
@@ -120,6 +128,10 @@ class _WeightVectors:
 
     def __init__(self, states: Sequence[str],
                  weight: Dict[Tuple[str, str], float]) -> None:
+        np = numpy_or_none()
+        if np is None:                 # callers gate on availability
+            raise RuntimeError("_WeightVectors requires numpy")
+        self.np = np
         self.index = {s: i for i, s in enumerate(states)}
         neighbours: List[List[Tuple[int, float]]] = \
             [[] for _ in states]
@@ -137,14 +149,16 @@ class _WeightVectors:
                                 dtype=np.intp)
         self.pair_p = np.array(list(weight.values()), dtype=np.float64)
 
-    def total_cost(self, codes_arr: "np.ndarray") -> float:
+    def total_cost(self, codes_arr) -> float:
+        np = self.np
         diff = codes_arr[self.pair_ia] ^ codes_arr[self.pair_ib]
         return float(np.dot(self.pair_p,
                             faststreams.popcount_array(diff)))
 
-    def move_delta(self, codes_arr: "np.ndarray", si: int,
+    def move_delta(self, codes_arr, si: int,
                    new_code: int) -> float:
         """Cost change of moving state ``si`` to ``new_code``."""
+        np = self.np
         idx = self.nb_idx[si]
         if not len(idx):
             return 0.0
@@ -153,9 +167,10 @@ class _WeightVectors:
         h_old = faststreams.popcount_array(others ^ codes_arr[si])
         return float(np.dot(self.nb_p[si], h_new - h_old))
 
-    def swap_delta(self, codes_arr: "np.ndarray", sa: int,
+    def swap_delta(self, codes_arr, sa: int,
                    sb: int) -> float:
         """Cost change of exchanging the codes of two states."""
+        np = self.np
         ca, cb = codes_arr[sa], codes_arr[sb]
         delta = 0.0
         for si, mine, theirs, other_state in ((sa, ca, cb, sb),
@@ -180,7 +195,7 @@ def low_power_encoding(stg: STG,
                        seed: int = 0,
                        anneal_steps: int = 4000,
                        use_annealing: bool = True,
-                       engine: str = "fast") -> Encoding:
+                       engine: Optional[str] = None) -> Encoding:
     """Probability-weighted hypercube embedding.
 
     Greedy phase: states in decreasing total edge weight claim the free
@@ -193,8 +208,12 @@ def low_power_encoding(stg: STG,
     vectorized popcounts over the per-state transition-probability
     vectors; ``engine="reference"`` keeps the scalar dict walks (the
     two may differ on exact cost ties, as both are heuristics over
-    float scores that agree to round-off).
+    float scores that agree to round-off).  The vectorized path also
+    steps aside — to the identical-math scalar walks, not an error —
+    when numpy is missing or the codes exceed
+    :data:`repro.util.bits.MAX_UINT64_CODE_BITS`.
     """
+    np = numpy_or_none()
     bits = n_bits or min_bits(stg.n_states)
     if (1 << bits) < stg.n_states:
         raise ValueError("not enough code bits for the state count")
@@ -208,7 +227,9 @@ def low_power_encoding(stg: STG,
         key = (a, b) if a < b else (b, a)
         weight[key] = weight.get(key, 0.0) + p
 
-    fast = engine == "fast" and bits <= _MAX_VECTOR_BITS
+    engine = resolve_engine(engine, default_engine())
+    fast = engine != "reference" and bits <= MAX_UINT64_CODE_BITS \
+        and np is not None
     vectors = _WeightVectors(stg.states, weight) if fast else None
 
     def w(a: str, b: str) -> float:

@@ -190,18 +190,30 @@ def transition_entropy(stg: STG,
 
 def expected_state_line_switching(stg: STG, codes: Dict[str, int],
                                   bit_probs: Optional[Sequence[float]] = None,
-                                  engine: str = "fast") -> float:
-    """Expected state-register bit flips per cycle for an encoding."""
+                                  engine: Optional[str] = None) -> float:
+    """Expected state-register bit flips per cycle for an encoding.
+
+    The packed engines evaluate the pair set with one vectorized
+    popcount (:func:`repro.rtl.faststreams.weighted_hamming`, which
+    itself degrades to the scalar loop without numpy); codes wider
+    than :data:`repro.util.bits.MAX_UINT64_CODE_BITS` use the scalar
+    reference.
+    """
+    from repro.backend.core import default_engine, resolve_engine
+    from repro.util.bits import MAX_UINT64_CODE_BITS
+
     probs = transition_probabilities(stg, bit_probs)
-    if engine == "fast" and probs and \
-            max(codes.values(), default=0).bit_length() <= 63:
+    engine = resolve_engine(engine, default_engine())
+    if engine != "reference" and probs and \
+            max(codes.values(), default=0).bit_length() \
+            <= MAX_UINT64_CODE_BITS:
         from repro.rtl import faststreams
         pairs = list(probs)
         code_list = [codes[a] for a, _b in pairs] \
             + [codes[b] for _a, b in pairs]
         k = len(pairs)
         return faststreams.weighted_hamming(
-            code_list, np.arange(k), np.arange(k, 2 * k),
+            code_list, range(k), range(k, 2 * k),
             [probs[pair] for pair in pairs])
     total = 0.0
     for (si, sj), p in probs.items():

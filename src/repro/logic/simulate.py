@@ -7,19 +7,25 @@ functional simulation" repeatedly invoked by the paper's high-level
 models (e.g. to obtain output entropies in Section II-B1 or output
 activities for the 3D-table macro-model of [41]).
 
-Two engines back the public entry points:
+Three engines back the public entry points:
 
 - the *reference* engine in this module: scalar, one vector at a
   time, per-gate dict lookups — simple and obviously correct,
 - the *fast* engine in :mod:`repro.logic.fastsim`: a compiled,
   bit-parallel evaluator that packs the whole batch into one bignum
   word per net and is exactly equivalent (bit-identical
-  :class:`ActivityReport`).
+  :class:`ActivityReport`),
+- the *numpy* engine: the same compiled plans lowered onto
+  ``uint64`` lane arrays (:mod:`repro.backend.lanes`), fastest on
+  long narrow batches.
 
 :func:`collect_activity` and :func:`output_trace` take
-``engine="fast"|"reference"`` and default to the fast engine
-(:data:`DEFAULT_ENGINE`), falling back to the reference scalar path
-for circuits the compiler cannot lower.
+``engine="fast"|"numpy"|"reference"|"auto"`` and default to
+:data:`DEFAULT_ENGINE` (the fast engine unless overridden via the
+``REPRO_ENGINE`` environment variable).  The fallback is a chain:
+numpy degrades to fast when numpy is unavailable, and both compiled
+engines degrade to the scalar reference for circuits the compiler
+cannot lower.
 """
 
 from __future__ import annotations
@@ -28,14 +34,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.backend.core import BackendUnavailable, default_engine, \
+    resolve_engine
 from repro.logic import gates as gatelib
 from repro.logic.netlist import Circuit
 
 
 Vector = Dict[str, int]
 
-#: Engine used when callers do not pass ``engine=...`` explicitly.
-DEFAULT_ENGINE = "fast"
+#: Engine used when callers do not pass ``engine=...`` explicitly
+#: ("fast", or the value of ``REPRO_ENGINE`` when set and valid).
+DEFAULT_ENGINE = default_engine()
 
 
 def random_vectors(inputs: Sequence[str], n: int,
@@ -172,22 +181,29 @@ def collect_activity(circuit: Circuit, vectors: Sequence[Vector],
 
     ``vectors`` is a sequence of per-cycle input dicts or a
     :class:`repro.logic.fastsim.PackedVectors` batch.  ``engine``
-    selects the implementation: ``"fast"`` (bit-parallel compiled,
-    the default) or ``"reference"`` (scalar).  Both produce
-    bit-identical reports; the fast engine falls back to the
-    reference automatically when the circuit cannot be compiled.
+    selects the implementation: ``"fast"`` (bit-parallel compiled on
+    bignum words, the default), ``"numpy"`` (the same plans on
+    ``uint64`` lane arrays), ``"reference"`` (scalar), or ``"auto"``
+    (picks per workload shape).  All produce bit-identical reports;
+    the compiled engines fall down the chain — numpy to fast when
+    numpy is unavailable, fast to the reference when the circuit
+    cannot be compiled.
     """
     from repro.logic import fastsim
 
-    engine = engine or DEFAULT_ENGINE
+    engine = resolve_engine(engine, DEFAULT_ENGINE, cycles=len(vectors),
+                            sequential=bool(circuit.latches))
+    if engine == "numpy":
+        try:
+            return fastsim.collect_activity_backend(
+                circuit, vectors, initial_state, backend="numpy")
+        except (fastsim.CompileError, BackendUnavailable):
+            engine = "fast"
     if engine == "fast":
         try:
             return fastsim.collect_activity(circuit, vectors, initial_state)
         except fastsim.CompileError:
             pass
-    elif engine != "reference":
-        raise ValueError(f"unknown engine {engine!r}; "
-                         "expected 'fast' or 'reference'")
     if isinstance(vectors, fastsim.PackedVectors):
         vectors = vectors.to_vectors()
     return _collect_activity_reference(circuit, vectors, initial_state)
@@ -244,18 +260,27 @@ def _collect_activity_reference(circuit: Circuit,
 def output_trace(circuit: Circuit, vectors: Sequence[Vector],
                  initial_state: Optional[Dict[str, int]] = None,
                  engine: Optional[str] = None) -> List[Vector]:
-    """Primary-output values per cycle (convenience wrapper)."""
+    """Primary-output values per cycle (convenience wrapper).
+
+    Same engine dispatch and fallback chain as
+    :func:`collect_activity`.
+    """
     from repro.logic import fastsim
 
-    engine = engine or DEFAULT_ENGINE
+    engine = resolve_engine(engine, DEFAULT_ENGINE, cycles=len(vectors),
+                            sequential=bool(circuit.latches))
+    if engine == "numpy":
+        try:
+            return fastsim.output_trace_backend(circuit, vectors,
+                                                initial_state,
+                                                backend="numpy")
+        except (fastsim.CompileError, BackendUnavailable):
+            engine = "fast"
     if engine == "fast":
         try:
             return fastsim.output_trace(circuit, vectors, initial_state)
         except fastsim.CompileError:
             pass
-    elif engine != "reference":
-        raise ValueError(f"unknown engine {engine!r}; "
-                         "expected 'fast' or 'reference'")
     if isinstance(vectors, fastsim.PackedVectors):
         vectors = vectors.to_vectors()
     trace = simulate(circuit, vectors, initial_state)

@@ -42,6 +42,7 @@ from multiprocessing.pool import ThreadPool
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.backend.core import ENGINES
 from repro.obs.manifest import run_manifest
 
 __all__ = ["discover_benches", "run_bench", "run_sweep",
@@ -57,12 +58,14 @@ SMOKE_BENCHES = [
     "bench_perf_bdd.py",
     "bench_perf_eventsim.py",
     "bench_perf_streams.py",
+    "bench_perf_backends.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
 #: each: entries carry a ``speedup`` field compared against baseline.
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
-                  "BENCH_eventsim.json", "BENCH_streams.json"]
+                  "BENCH_eventsim.json", "BENCH_streams.json",
+                  "BENCH_backends.json"]
 
 
 def default_repo_root() -> Path:
@@ -84,7 +87,8 @@ def discover_benches(bench_dir: Path) -> List[Path]:
 # Single-bench execution
 # ----------------------------------------------------------------------
 def _child_env(bench_dir: Path, telemetry_path: Path,
-               trace: bool) -> Dict[str, str]:
+               trace: bool, backend: Optional[str] = None
+               ) -> Dict[str, str]:
     env = dict(os.environ)
     src = Path(__file__).resolve().parents[2]
     env["PYTHONPATH"] = os.pathsep.join(
@@ -95,6 +99,8 @@ def _child_env(bench_dir: Path, telemetry_path: Path,
     else:
         env.pop("REPRO_OBS", None)
         env.pop("REPRO_OBS_EXPORT", None)
+    if backend is not None:
+        env["REPRO_ENGINE"] = backend
     return env
 
 
@@ -121,12 +127,15 @@ def _telemetry_digest(path: Path) -> Optional[Dict[str, Any]]:
 
 
 def run_bench(bench: Path, timeout: float, trace: bool = True,
-              retries: int = 1) -> Dict[str, Any]:
+              retries: int = 1,
+              backend: Optional[str] = None) -> Dict[str, Any]:
     """Run one bench file under pytest in a subprocess.
 
     Returns the BENCH_ALL entry: status in {ok, failed, timeout},
     duration, attempt count, and (on failure) the output tail.  Never
     raises — an un-runnable bench is a *result*, not an error.
+    ``backend`` exports ``REPRO_ENGINE`` to the worker so the bench's
+    default-engine call sites run on that engine.
     """
     attempts = 0
     entry: Dict[str, Any] = {"bench": bench.name}
@@ -140,7 +149,8 @@ def run_bench(bench: Path, timeout: float, trace: bool = True,
             try:
                 proc = subprocess.run(
                     cmd, cwd=str(bench.parent), timeout=timeout,
-                    env=_child_env(bench.parent, telemetry_path, trace),
+                    env=_child_env(bench.parent, telemetry_path, trace,
+                                   backend),
                     stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
                     text=True)
                 duration = time.perf_counter() - start
@@ -224,7 +234,8 @@ def gate_regressions(baselines: Dict[str, Dict[str, Any]],
 
 def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
               trace: bool = True, retries: int = 1,
-              progress=None) -> Dict[str, Dict[str, Any]]:
+              progress=None, backend: Optional[str] = None
+              ) -> Dict[str, Dict[str, Any]]:
     """Fan the benches out over a worker pool; collect every result."""
     results: Dict[str, Dict[str, Any]] = {}
     if not benches:
@@ -232,7 +243,7 @@ def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
 
     def work(bench: Path) -> Dict[str, Any]:
         entry = run_bench(bench, timeout=timeout, trace=trace,
-                          retries=retries)
+                          retries=retries, backend=backend)
         if progress is not None:
             progress(entry)
         return entry
@@ -299,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-trace", action="store_true",
                         help="do not enable repro.obs telemetry in "
                              "bench workers")
+    parser.add_argument("--backend", choices=list(ENGINES), default=None,
+                        help="run bench workers with this default "
+                             "engine (exports REPRO_ENGINE)")
     parser.add_argument("--no-gate", action="store_true",
                         help="report perf regressions but never fail "
                              "the exit code on them")
@@ -354,7 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      if entry["attempts"] > 1 else ""))
 
     results = run_sweep(benches, jobs=jobs, timeout=timeout,
-                        trace=not args.no_trace, progress=progress)
+                        trace=not args.no_trace, progress=progress,
+                        backend=args.backend)
     regressions = gate_regressions(baselines, root,
                                    tolerance=args.tolerance)
     config = {
@@ -363,6 +378,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "jobs": jobs,
         "timeout_s": timeout,
         "trace": not args.no_trace,
+        "backend": args.backend,
         "tolerance": args.tolerance,
         "bench_dir": str(bench_dir),
         "wall_s": round(time.perf_counter() - started, 3),

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.backend.core import default_engine, resolve_engine
 from repro.cdfg.graph import Cdfg, CdfgNode
 from repro.cdfg.schedule import Schedule
 from repro.rtl import faststreams
@@ -88,13 +89,16 @@ def left_edge_registers(lifetimes: Sequence[Lifetime]) -> Dict[int, int]:
 
 def average_switch_fraction(values_a: Sequence[int],
                             values_b: Sequence[int], width: int,
-                            engine: str = "fast") -> float:
+                            engine: Optional[str] = None) -> float:
     """Average fraction of bits flipping when b's data follows a's."""
     if not values_a or not values_b:
         return 0.5
     n = min(len(values_a), len(values_b))
-    if engine == "fast":
-        total = faststreams.cross_hamming(values_a, values_b, width)
+    engine = resolve_engine(engine, default_engine(), cycles=n)
+    if engine != "reference":
+        total = faststreams.cross_hamming(
+            values_a, values_b, width,
+            backend="numpy" if engine == "numpy" else None)
     else:
         total = sum(hamming(values_a[t], values_b[t]) for t in range(n))
     return total / (n * width)
@@ -173,11 +177,14 @@ def _merge_allocate(items: Sequence[int],
 
 def _binding_switching(order_by_resource: Dict[int, List[int]],
                        traces: Dict[int, List[int]],
-                       width: int, engine: str = "fast") -> float:
+                       width: int,
+                       engine: Optional[str] = None) -> float:
     """Bits switched per iteration at shared-resource inputs."""
     total = 0.0
     cycles = len(next(iter(traces.values()))) if traces else 1
-    if engine == "fast":
+    engine = resolve_engine(engine, default_engine(), cycles=cycles)
+    if engine != "reference":
+        backend = "numpy" if engine == "numpy" else None
         packs: Dict[int, int] = {}
 
         def packed(uid: int) -> int:
@@ -190,7 +197,8 @@ def _binding_switching(order_by_resource: Dict[int, List[int]],
                 continue
             for a, b in zip(uids, uids[1:]):
                 total += faststreams.cross_hamming(
-                    traces[a], traces[b], width, packed(a), packed(b))
+                    traces[a], traces[b], width, packed(a), packed(b),
+                    backend=backend)
         return total / max(1, cycles)
     for uids in order_by_resource.values():
         if len(uids) < 2:

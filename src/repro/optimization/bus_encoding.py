@@ -27,11 +27,14 @@ verify — the codes are real, not just transition counters.
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend.core import default_engine, numpy_or_none, \
+    resolve_engine
 from repro.rtl import faststreams
 from repro.rtl.streams import WordStream
 from repro.util.bits import hamming
@@ -376,22 +379,27 @@ class BeachCode(BusCode):
             self.inverse.append({v: k for k, v in mapping.items()})
 
     def _cluster_lines(self, trace: Sequence[int]) -> List[List[int]]:
-        import numpy as np
+        np = numpy_or_none()
 
         planes = faststreams.pack_planes(trace, self.width)
         counts = faststreams.one_counts(planes)
-        if 0 < len(trace) and all(0 < c < len(trace) for c in counts):
-            # No constant line: the packed lane–lane correlation (one
-            # popcount per lane pair) replaces the n x width float
-            # matrix of the reference path.
-            corr = np.abs(faststreams.correlation_matrix(planes))
-        else:
-            # Constant lines need the reference jitter to keep
-            # corrcoef finite; this degenerate path stays scalar.
-            bits = np.array([[(w >> i) & 1 for i in range(self.width)]
-                             for w in trace], dtype=float)
-            bits += np.random.default_rng(0).normal(0, 1e-6, bits.shape)
-            corr = np.abs(np.corrcoef(bits.T))
+        n = len(trace)
+        # Packed lane–lane correlation (one popcount per lane pair)
+        # replaces the n x width float matrix of the reference path.
+        # Constant lines have no variance and correlate exactly 0 on
+        # every backend.
+        raw = faststreams.correlation_matrix(planes)
+        corr = np.abs(raw) if np is not None \
+            else [[abs(v) for v in row] for row in raw]
+        # With constant lines in the trace, the surviving entries of
+        # their rows sit at the sampling-noise floor (~1/sqrt(n)), and
+        # letting that noise steer the greedy growth splits genuinely
+        # co-varying groups.  Zero out sub-significance correlations
+        # and break ties toward adjacent bus lines — the locality bias
+        # of the Beach clustering itself — so the result is
+        # deterministic and identical with or without numpy.
+        degenerate = n > 0 and any(c in (0, n) for c in counts)
+        sig = 2.0 / math.sqrt(n) if n else 0.0
         unassigned = set(range(self.width))
         clusters: List[List[int]] = []
         while unassigned:
@@ -399,8 +407,17 @@ class BeachCode(BusCode):
             cluster = [seed_line]
             unassigned.discard(seed_line)
             while len(cluster) < self.cluster_bits and unassigned:
-                best = max(unassigned,
-                           key=lambda j: max(corr[j, k] for k in cluster))
+                if degenerate:
+                    def _key(j):
+                        peak = max(corr[j][k] for k in cluster)
+                        if peak < sig:
+                            peak = 0.0
+                        return (peak,
+                                -min(abs(j - k) for k in cluster), j)
+                else:
+                    def _key(j):
+                        return max(corr[j][k] for k in cluster)
+                best = max(unassigned, key=_key)
                 cluster.append(best)
                 unassigned.discard(best)
             clusters.append(sorted(cluster))
@@ -484,18 +501,21 @@ class BusReport:
 
 def count_transitions(code: BusCode, stream: WordStream,
                       check_decode: bool = True,
-                      engine: str = "fast") -> BusReport:
+                      engine: Optional[str] = None) -> BusReport:
     """Drive the stream through the code; count bus-line transitions.
 
     Stateless (combinational) codes take the packed path on the
-    default ``engine="fast"``: the encoded word list is counted with
-    one shifted-xor popcount instead of a per-cycle Hamming loop.
-    Stateful codes always run the scalar reference loop (their encode
-    order *is* the state).  Both engines return identical counts.
+    compiled engines ("fast" on bignum words, "numpy" on lane
+    arrays): the encoded word list is counted with one shifted-xor
+    popcount instead of a per-cycle Hamming loop.  Stateful codes
+    always run the scalar reference loop (their encode order *is* the
+    state).  All engines return identical counts.
     """
     code.reset()
     mask = (1 << code.width) - 1
-    if engine == "fast" and code.stateless:
+    engine = resolve_engine(engine, default_engine(),
+                            cycles=len(stream.words))
+    if engine != "reference" and code.stateless:
         encoded = [code.encode(word) for word in stream.words]
         if check_decode:
             for word, bus_value in zip(stream.words, encoded):
@@ -504,8 +524,9 @@ def count_transitions(code: BusCode, stream: WordStream,
                     raise AssertionError(
                         f"{code.name}: decode mismatch "
                         f"{decoded} != {word}")
-        transitions = faststreams.transition_count(encoded,
-                                                   code.total_lines)
+        transitions = faststreams.transition_count(
+            encoded, code.total_lines,
+            backend="numpy" if engine == "numpy" else None)
         return BusReport(code.name, transitions, len(stream.words),
                          code.total_lines)
     prev: Optional[int] = None

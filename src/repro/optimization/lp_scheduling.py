@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.backend.core import default_engine, resolve_engine
 from repro.cdfg.graph import Cdfg, CdfgNode
 from repro.cdfg.schedule import Schedule, alap, asap, list_schedule
 from repro.rtl import faststreams
@@ -144,7 +145,7 @@ def greedy_binding(cdfg: Cdfg, schedule: Schedule,
 def fu_input_switching(cdfg: Cdfg, schedule: Schedule,
                        binding: Dict[int, Tuple[str, int]],
                        input_streams: Dict[str, Sequence[int]],
-                       engine: str = "fast") -> float:
+                       engine: Optional[str] = None) -> float:
     """Total FU-input bit switching per CDFG iteration.
 
     Replays the high-level simulation: each FU sees, in control-step
@@ -168,7 +169,9 @@ def fu_input_switching(cdfg: Cdfg, schedule: Schedule,
         nodes.sort(key=lambda n: schedule.steps[n.uid])
 
     total = 0.0
-    if engine == "fast":
+    engine = resolve_engine(engine, default_engine(), cycles=cycles)
+    if engine != "reference":
+        backend = "numpy" if engine == "numpy" else None
         packs: Dict[int, int] = {}
 
         def packed(uid: int) -> int:
@@ -182,7 +185,8 @@ def fu_input_switching(cdfg: Cdfg, schedule: Schedule,
                 for a, b in zip(prev.operands[:2], node.operands[:2]):
                     total += faststreams.cross_hamming(
                         traces[a][:cycles], traces[b][:cycles],
-                        cdfg.width, packed(a), packed(b))
+                        cdfg.width, packed(a), packed(b),
+                        backend=backend)
         return total / cycles
     for unit, nodes in per_unit.items():
         for t in range(cycles):

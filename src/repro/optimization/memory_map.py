@@ -24,17 +24,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend.core import default_engine, resolve_engine
 from repro.estimation.parametric import MemoryArray
 from repro.rtl import faststreams
 from repro.util.bits import hamming
 
 
 def bus_transitions(addresses: Sequence[int],
-                    engine: str = "fast") -> int:
+                    engine: Optional[str] = None) -> int:
     """Total address-bus line toggles over an access trace."""
-    if engine == "fast":
+    engine = resolve_engine(engine, default_engine(),
+                            cycles=len(addresses))
+    if engine != "reference":
         width = max((a.bit_length() for a in addresses), default=0) or 1
-        return faststreams.transition_count(addresses, width)
+        return faststreams.transition_count(
+            addresses, width,
+            backend="numpy" if engine == "numpy" else None)
     total = 0
     for a, b in zip(addresses, addresses[1:]):
         total += hamming(a, b)

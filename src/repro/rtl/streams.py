@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.backend.core import default_engine, get_backend, resolve_engine
+
 
 @dataclass
 class WordStream:
@@ -157,12 +159,19 @@ def counter_stream(width: int, length: int, start: int = 0,
 # Statistics
 # ----------------------------------------------------------------------
 # Each statistic keeps its scalar loop as the ``engine="reference"``
-# cross-check; the default ``engine="fast"`` path runs on the cached
-# bit planes (one popcount per lane) with bit-identical results —
-# the integer counts are equal, and the derived rates are the same
-# integers through the same final division.
+# cross-check; the compiled engines ("fast" on bignum words, "numpy"
+# on uint64 lane arrays — see repro.backend) run on the cached bit
+# planes (one popcount per lane) with bit-identical results — the
+# integer counts are equal, and the derived rates are the same
+# integers through the same final division.  ``engine=None`` takes
+# the session default (repro.backend.core.default_engine).
 
-def bit_activities(stream: WordStream, engine: str = "fast"
+def _resolve_stream_engine(engine: Optional[str], n: int) -> str:
+    """Engine dispatch shared by the stream statistics."""
+    return resolve_engine(engine, default_engine(), cycles=n)
+
+
+def bit_activities(stream: WordStream, engine: Optional[str] = None
                    ) -> List[float]:
     """Per-bit toggles per cycle (E_i of the bitwise macro-model).
 
@@ -170,10 +179,13 @@ def bit_activities(stream: WordStream, engine: str = "fast"
     """
     if len(stream) < 2:
         return [0.0] * stream.width
-    if engine == "fast":
+    engine = _resolve_stream_engine(engine, len(stream))
+    if engine in ("fast", "numpy"):
         from repro.rtl import faststreams
 
-        counts = faststreams.toggle_counts(stream.bit_planes())
+        counts = faststreams.toggle_counts(
+            stream.bit_planes(),
+            backend="numpy" if engine == "numpy" else None)
     else:
         counts = _bit_toggle_counts_reference(stream)
     return [c / (len(stream) - 1) for c in counts]
@@ -189,19 +201,23 @@ def _bit_toggle_counts_reference(stream: WordStream) -> List[int]:
     return counts
 
 
-def average_activity(stream: WordStream, engine: str = "fast") -> float:
+def average_activity(stream: WordStream,
+                     engine: Optional[str] = None) -> float:
     acts = bit_activities(stream, engine=engine)
     return sum(acts) / len(acts) if acts else 0.0
 
 
-def bit_probabilities(stream: WordStream, engine: str = "fast"
+def bit_probabilities(stream: WordStream, engine: Optional[str] = None
                       ) -> List[float]:
     if not len(stream):
         return [0.0] * stream.width
-    if engine == "fast":
+    engine = _resolve_stream_engine(engine, len(stream))
+    if engine in ("fast", "numpy"):
         from repro.rtl import faststreams
 
-        counts = faststreams.one_counts(stream.bit_planes())
+        counts = faststreams.one_counts(
+            stream.bit_planes(),
+            backend="numpy" if engine == "numpy" else None)
     else:
         counts = _bit_one_counts_reference(stream)
     return [c / len(stream) for c in counts]
@@ -241,12 +257,32 @@ def word_entropy(stream: WordStream) -> float:
     return -sum((c / n) * math.log2(c / n) for c in counts.values())
 
 
-def sign_transition_counts(stream: WordStream, engine: str = "fast"
+def sign_transition_counts(stream: WordStream,
+                           engine: Optional[str] = None
                            ) -> Dict[str, int]:
     """Counts of sign transitions ++, +-, -+, -- (DBT model inputs)."""
     sign_bit = stream.width - 1
     counts = {"++": 0, "+-": 0, "-+": 0, "--": 0}
     if len(stream) < 2:
+        return counts
+    engine = _resolve_stream_engine(engine, len(stream))
+    n = len(stream)
+    if engine == "numpy":
+        from repro.rtl import faststreams
+
+        # Same three popcounts as the bignum path, on the cached
+        # backend lane words; ~x is ones_mask ^ x to stay masked.
+        be = get_backend("numpy")
+        lane = faststreams.backend_lanes(stream.bit_planes(),
+                                         be)[sign_bit]
+        mask = be.low_mask(n - 1, n)
+        ones = be.ones_mask(n)
+        nxt = be.shift_out_time(lane)
+        counts["--"] = be.popcount(lane & nxt & mask)
+        counts["-+"] = be.popcount(lane & (ones ^ nxt) & mask)
+        counts["+-"] = be.popcount((ones ^ lane) & nxt & mask)
+        counts["++"] = (n - 1) - counts["--"] - counts["-+"] \
+            - counts["+-"]
         return counts
     if engine == "fast":
         from repro.util.bits import popcount
@@ -254,7 +290,6 @@ def sign_transition_counts(stream: WordStream, engine: str = "fast"
         # Bit t of the sign lane is the sign of word t; shifting by
         # one aligns each word's sign with its successor's.
         lane = stream.bit_planes().lanes[sign_bit]
-        n = len(stream)
         mask = (1 << (n - 1)) - 1
         nxt = lane >> 1
         counts["--"] = popcount(lane & nxt & mask)

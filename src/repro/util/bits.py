@@ -12,7 +12,16 @@ for 3.9 interpreters.
 
 from __future__ import annotations
 
-__all__ = ["popcount", "hamming"]
+__all__ = ["popcount", "hamming", "MAX_UINT64_CODE_BITS"]
+
+#: Widest code that is safe to hold in a ``numpy.uint64`` lane and
+#: still xor against another such code without overflow ambiguity
+#: (bit 63 is reserved so ``int(np.uint64)`` round-trips stay exact
+#: on every platform).  Vectorized cost paths over state/bus codes
+#: (FSM encoding, Markov switching objectives) fall back to their
+#: scalar references above this width; one-hot encodings cross it at
+#: 64 states.
+MAX_UINT64_CODE_BITS = 63
 
 if hasattr(int, "bit_count"):          # Python >= 3.10
     def popcount(x: int) -> int:
