@@ -5,6 +5,7 @@ Commands:
   demo          run a 30-second cross-level estimation demo
   experiments   list the paper-reproduction benches and how to run them
   bench         run the benches in parallel; aggregate BENCH_ALL.json
+  serve         run the estimation HTTP service over a warm worker pool
 
 ``info`` and ``experiments`` accept ``--json`` for machine-readable
 output; ``bench`` forwards to :mod:`repro.obs.runner` (see
@@ -87,6 +88,12 @@ def cmd_bench(args: Sequence[str]) -> int:
     return bench_main(list(args))
 
 
+def cmd_serve(args: Sequence[str]) -> int:
+    from repro.serve import main as serve_main
+
+    return serve_main(list(args))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "info"
@@ -95,6 +102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "bench": cmd_bench,
+        "serve": cmd_serve,
     }
     handler = handlers.get(command)
     if handler is None:

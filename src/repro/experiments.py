@@ -66,6 +66,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_streams.py", kind="perf"),
     Experiment("P5", "numpy uint64 lane backend vs native bignum engine",
                "bench_perf_backends.py", kind="perf"),
+    Experiment("P6", "plan-store warm starts + estimation service loadgen",
+               "bench_perf_serve.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [

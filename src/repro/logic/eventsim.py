@@ -64,6 +64,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro import store as artifact_store
 from repro.backend.core import BackendUnavailable, ENGINES, \
     default_engine, resolve_engine
 from repro.logic.netlist import Circuit, Gate, Latch
@@ -96,12 +97,43 @@ def _rational(delay: float) -> Fraction:
     return Fraction(delay).limit_denominator(10 ** 6)
 
 
+#: Artifact kind under which tick grids land in :mod:`repro.store`.
+STORE_KIND = "tickgrid"
+
+
+def _rehydrate_grid(circuit: Circuit,
+                    payload: Dict[str, object]) -> Optional[TickGrid]:
+    """Rebuild a tick grid from a store payload, or ``None``."""
+    try:
+        ticks = payload["ticks"]
+        num, den = payload["quantum"]
+        if set(ticks) != {g.output for g in circuit.gates}:
+            return None
+        return TickGrid(Fraction(int(num), int(den)),
+                        {net: int(t) for net, t in ticks.items()})
+    except Exception:
+        return None
+
+
 def tick_grid(circuit: Circuit) -> TickGrid:
-    """Discretize ``circuit``'s gate delays onto the tick grid (cached)."""
+    """Discretize ``circuit``'s gate delays onto the tick grid.
+
+    Cached on the circuit object and in the content-addressed
+    artifact store (the grid rides along with the compiled timed plan
+    across process boundaries).
+    """
     cached = getattr(circuit, "_tick_grid", None)
     version = getattr(circuit, "_version", 0)
     if cached is not None and cached[0] == version:
         return cached[1]
+    st = artifact_store.get_store()
+    fp = circuit.fingerprint()
+    payload = st.get(fp, STORE_KIND)
+    if payload is not None:
+        grid = _rehydrate_grid(circuit, payload)
+        if grid is not None:
+            circuit._tick_grid = (version, grid)
+            return grid
     fracs = [_rational(g.spec.delay) for g in circuit.gates]
     quantum = Fraction(1)
     nonzero = [f for f in fracs if f]
@@ -115,6 +147,10 @@ def tick_grid(circuit: Circuit) -> TickGrid:
     ticks = {g.output: int(f / quantum)
              for g, f in zip(circuit.gates, fracs)}
     grid = TickGrid(quantum, ticks)
+    st.put(fp, STORE_KIND, {
+        "quantum": [quantum.numerator, quantum.denominator],
+        "ticks": ticks,
+    })
     circuit._tick_grid = (version, grid)
     return grid
 

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
     Tuple, Union
 
 from repro import obs
+from repro import store as artifact_store
 from repro.backend.core import Backend, BackendUnavailable, get_backend
 from repro.logic import gates as gatelib
 from repro.logic.gates import GateSpec
@@ -276,12 +277,89 @@ class CompiledCircuit:
         return len(self.nets)
 
 
+#: Artifact kind under which plans land in :mod:`repro.store`.
+STORE_KIND = "fastsim"
+
+
+def _bind_plan(circuit: Circuit, version: int, nets: List[str],
+               caps: List[float],
+               evaluate: Callable[[List[int], int], None]
+               ) -> CompiledCircuit:
+    """Bind a generated kernel + slot layout to ``circuit``.
+
+    The slot layout (``nets`` order) may come from a *different*
+    circuit object with the same structure — input/output/latch slot
+    indices are always rederived from the bound circuit by net name,
+    which is what makes store-rehydrated plans construction-order
+    independent.
+    """
+    slot = {net: i for i, net in enumerate(nets)}
+    return CompiledCircuit(
+        circuit=circuit,
+        version=version,
+        nets=nets,
+        slot=slot,
+        input_slots=[slot[n] for n in circuit.inputs],
+        output_slots=[slot[n] for n in circuit.outputs],
+        latches=[_LatchPlan(slot[l.data], slot[l.output],
+                            slot[l.enable] if l.enable is not None else -1,
+                            1 if l.init else 0, l.clocked)
+                 for l in circuit.latches],
+        caps=caps,
+        evaluate=evaluate,
+    )
+
+
+def _rehydrate_plan(circuit: Circuit, version: int,
+                    payload: Dict[str, object]
+                    ) -> Optional[CompiledCircuit]:
+    """Rebuild a compiled plan from a store payload, or ``None``.
+
+    Any structural disagreement between the payload and the live
+    circuit (possible only on a fingerprint collision or a corrupted
+    entry) is treated as a plain miss.
+    """
+    nets = payload.get("nets")
+    caps = payload.get("caps")
+    if not isinstance(nets, list) or not isinstance(caps, list) \
+            or len(nets) != len(caps):
+        return None
+    if len(nets) != len(circuit.nets) or set(nets) != set(circuit.nets):
+        return None
+    try:
+        evaluate = artifact_store.load_function(
+            payload["code"], "__fastsim_eval")
+        return _bind_plan(circuit, version, list(nets),
+                          [float(c) for c in caps], evaluate)
+    except Exception:
+        return None
+
+
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """Lower ``circuit`` to its bit-parallel plan (cached)."""
+    """Lower ``circuit`` to its bit-parallel plan.
+
+    Three cache layers, cheapest first: the plan cached on the
+    circuit object (invalidated by structural mutation), the
+    content-addressed plan store keyed by
+    :meth:`~repro.logic.netlist.Circuit.fingerprint` (shared across
+    objects and — with ``REPRO_STORE`` — across processes), and a
+    fresh compile, whose result is published back to the store.
+    """
     plan = getattr(circuit, "_fastsim_plan", None)
     version = getattr(circuit, "_version", 0)
     if isinstance(plan, CompiledCircuit) and plan.version == version:
         return plan
+
+    st = artifact_store.get_store()
+    fp = circuit.fingerprint()
+    payload = st.get(fp, STORE_KIND)
+    if payload is not None:
+        with obs.span("fastsim.rehydrate", circuit=circuit.name):
+            plan = _rehydrate_plan(circuit, version, payload)
+        if plan is not None:
+            obs.inc("fastsim.rehydrates")
+            circuit._fastsim_plan = plan
+            return plan
 
     with obs.span("fastsim.compile", circuit=circuit.name) as sp:
         try:
@@ -298,29 +376,24 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
                          f"{_expression(gate.spec, ins)}")
         if len(lines) == 1:
             lines.append("    pass")
+        source = "\n".join(lines)
+        code = compile(source, f"<fastsim:{circuit.name}>", "exec")
         namespace: Dict[str, object] = {}
-        exec(compile("\n".join(lines), f"<fastsim:{circuit.name}>",
-                     "exec"),
-             namespace)
+        exec(code, namespace)
         sp.set("gates", len(order))
         sp.set("nets", len(nets))
         obs.inc("fastsim.compiles")
 
     caps_map = circuit.load_capacitances()
-    plan = CompiledCircuit(
-        circuit=circuit,
-        version=version,
-        nets=nets,
-        slot=slot,
-        input_slots=[slot[n] for n in circuit.inputs],
-        output_slots=[slot[n] for n in circuit.outputs],
-        latches=[_LatchPlan(slot[l.data], slot[l.output],
-                            slot[l.enable] if l.enable is not None else -1,
-                            1 if l.init else 0, l.clocked)
-                 for l in circuit.latches],
-        caps=[caps_map[n] for n in nets],
-        evaluate=namespace["__fastsim_eval"],   # type: ignore[arg-type]
-    )
+    plan = _bind_plan(circuit, version, nets,
+                      [caps_map[n] for n in nets],
+                      namespace["__fastsim_eval"])  # type: ignore[arg-type]
+    st.put(fp, STORE_KIND, {
+        "nets": plan.nets,
+        "caps": plan.caps,
+        "code": artifact_store.code_blob(
+            source, f"<fastsim:{fp[:12]}>", code),
+    })
     circuit._fastsim_plan = plan
     return plan
 

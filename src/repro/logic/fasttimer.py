@@ -40,9 +40,11 @@ reports merge by summation).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro import store as artifact_store
 from repro.backend.core import Backend, BackendUnavailable, \
     default_engine, get_backend, resolve_engine
 from repro.logic import fastsim
@@ -85,14 +87,70 @@ class TimedPlan:
     kernel_be: Callable[..., int]
 
 
+#: Artifact kind under which timed plans land in :mod:`repro.store`.
+STORE_KIND = "fasttimer"
+
+
+def _rehydrate_timed(circuit: Circuit, version: int,
+                     payload: Dict[str, object]) -> Optional[TimedPlan]:
+    """Rebuild a tick-wheel plan from a store payload, or ``None``.
+
+    The kernels index slots positionally, so the payload's slot
+    layout must match the functional plan bound to this circuit (it
+    always does when both artifacts came from the same compile; a
+    mismatch is treated as a miss and triggers a clean recompile).
+    """
+    try:
+        func = fastsim.compile_circuit(circuit)
+    except CompileError:
+        return None
+    if payload.get("nets") != func.nets:
+        return None
+    try:
+        kernel = artifact_store.load_function(
+            payload["kernel"], "__fasttimer_eval")
+        kernel_be = artifact_store.load_function(
+            payload["kernel_be"], "__fasttimer_eval_be")
+        num, den = payload["quantum"]
+        return TimedPlan(
+            circuit=circuit,
+            version=version,
+            func=func,
+            quantum=Fraction(int(num), int(den)),
+            n_ticks=int(payload["n_ticks"]),
+            n_ops=int(payload["n_ops"]),
+            kernel=kernel,
+            kernel_be=kernel_be,
+        )
+    except Exception:
+        return None
+
+
 def compile_timed(circuit: Circuit) -> TimedPlan:
-    """Lower ``circuit`` to its tick-wheel plan (cached)."""
+    """Lower ``circuit`` to its tick-wheel plan.
+
+    Cached like the zero-delay plan: on the circuit object, then in
+    the content-addressed plan store (fingerprint-keyed, process-
+    crossing with ``REPRO_STORE``), then compiled fresh and published
+    back.
+    """
     from repro.logic import eventsim
 
     plan = getattr(circuit, "_fasttimer_plan", None)
     version = getattr(circuit, "_version", 0)
     if isinstance(plan, TimedPlan) and plan.version == version:
         return plan
+
+    st = artifact_store.get_store()
+    fp = circuit.fingerprint()
+    payload = st.get(fp, STORE_KIND)
+    if payload is not None:
+        with obs.span("fasttimer.rehydrate", circuit=circuit.name):
+            plan = _rehydrate_timed(circuit, version, payload)
+        if plan is not None:
+            obs.inc("fasttimer.rehydrates")
+            circuit._fasttimer_plan = plan
+            return plan
 
     with obs.span("fasttimer.compile", circuit=circuit.name) as sp:
         func = fastsim.compile_circuit(circuit)    # raises CompileError
@@ -188,10 +246,13 @@ def compile_timed(circuit: Circuit) -> TimedPlan:
         lines.append("    return EV")
         lines_be.append("    return EV")
         namespace: Dict[str, object] = {}
-        exec(compile("\n".join(lines), f"<fasttimer:{circuit.name}>",
-                     "exec"), namespace)
-        exec(compile("\n".join(lines_be),
-                     f"<fasttimer-be:{circuit.name}>", "exec"), namespace)
+        source = "\n".join(lines)
+        source_be = "\n".join(lines_be)
+        code = compile(source, f"<fasttimer:{circuit.name}>", "exec")
+        code_be = compile(source_be, f"<fasttimer-be:{circuit.name}>",
+                          "exec")
+        exec(code, namespace)
+        exec(code_be, namespace)
 
         n_ticks = max(schedule) if schedule else 0
         sp.set("gates", circuit.gate_count())
@@ -209,6 +270,17 @@ def compile_timed(circuit: Circuit) -> TimedPlan:
         kernel=namespace["__fasttimer_eval"],  # type: ignore[arg-type]
         kernel_be=namespace["__fasttimer_eval_be"],  # type: ignore[arg-type]
     )
+    quantum = Fraction(grid.quantum)
+    st.put(fp, STORE_KIND, {
+        "nets": func.nets,
+        "quantum": [quantum.numerator, quantum.denominator],
+        "n_ticks": n_ticks,
+        "n_ops": n_ops,
+        "kernel": artifact_store.code_blob(
+            source, f"<fasttimer:{fp[:12]}>", code),
+        "kernel_be": artifact_store.code_blob(
+            source_be, f"<fasttimer-be:{fp[:12]}>", code_be),
+    })
     circuit._fasttimer_plan = plan
     return plan
 

@@ -9,6 +9,7 @@ framework.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -70,6 +71,7 @@ class Circuit:
         self._fastsim_plan: Optional[object] = None
         self._fasttimer_plan: Optional[object] = None
         self._tick_grid: Optional[object] = None
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
         self._version: int = 0
 
     def invalidate(self) -> None:
@@ -94,8 +96,11 @@ class Circuit:
 
         The compiled simulation plans hold ``exec``-generated
         functions that cannot cross process boundaries; worker
-        processes (fasttimer's sharded evaluation) rebuild them from
-        the structural state.
+        processes (fasttimer's sharded evaluation) rehydrate them
+        from the content-addressed plan store (:mod:`repro.store`) or
+        rebuild them from the structural state.  The structural
+        fingerprint *does* survive pickling — it is a plain string,
+        and carrying it saves every worker one canonicalization pass.
         """
         state = self.__dict__.copy()
         state["_topo_cache"] = None
@@ -105,6 +110,98 @@ class Circuit:
         state["_fasttimer_plan"] = None
         state["_tick_grid"] = None
         return state
+
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the circuit's structure (hex, stable).
+
+        Covers exactly what the compiled artifacts depend on: the net
+        names and their drivers (gates with their cell types and input
+        order, latches with data/enable/init/clocking), the primary
+        input/output sets, and the library parameters (delays,
+        capacitances) of every cell type used.  Deliberately
+        *excluded*: the circuit and instance names, the order in which
+        gates/latches/inputs were added (the description is
+        canonicalized by sorting on driven nets), and every derived
+        cache — so the fingerprint is identical across construction
+        orders, pickle round-trips, and process boundaries.  It keys
+        the content-addressed plan store (:mod:`repro.store`).
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        h = hashlib.sha256()
+        for part in self._structural_parts():
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        digest = h.hexdigest()
+        self._fingerprint_cache = (self._version, digest)
+        return digest
+
+    def _structural_parts(self) -> Iterable[str]:
+        """Canonical structural description, one string per element."""
+        yield "circuit/1"
+        yield "in:" + ",".join(sorted(self.inputs))
+        yield "out:" + ",".join(sorted(self.outputs))
+        for g in sorted(self.gates, key=lambda g: g.output):
+            yield f"g:{g.gate_type}:{','.join(g.inputs)}>{g.output}"
+        for l in sorted(self.latches, key=lambda l: l.output):
+            yield (f"l:{l.data}>{l.output}:{l.init}:"
+                   f"{l.enable or ''}:{int(l.clocked)}")
+        # Library parameters the compiled plans bake in: per-cell
+        # delay/caps/area for every cell type used, the flop pin
+        # loads, and the statistical wire-load model.
+        for gate_type in sorted({g.gate_type for g in self.gates}):
+            spec = gate_spec(gate_type)
+            yield (f"spec:{gate_type}:{spec.n_inputs}:{spec.delay!r}:"
+                   f"{spec.input_cap!r}:{spec.output_cap!r}:"
+                   f"{spec.area!r}")
+        if self.latches:
+            yield ("dff:"
+                   f"{gatelib.DFF_INPUT_CAP!r}:{gatelib.DFF_OUTPUT_CAP!r}:"
+                   f"{gatelib.DFF_CLOCK_CAP!r}:{gatelib.DFF_ENABLE_CAP!r}:"
+                   f"{gatelib.DFF_AREA!r}")
+        yield ("wire:"
+               + ":".join(repr(gatelib.wire_capacitance(k))
+                          for k in (0, 1, 2, 4, 8)))
+
+    # ------------------------------------------------------------------
+    # Portable serialization (job transport, store tooling)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able structural description (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "gates": [[g.name, g.gate_type, list(g.inputs), g.output]
+                      for g in self.gates],
+            "latches": [[l.name, l.data, l.output, l.init, l.enable,
+                         int(l.clocked)]
+                        for l in self.latches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_dict` output.
+
+        Round-trips the structure exactly (same fingerprint): net
+        names, instance names, and declaration order all survive.
+        """
+        circuit = cls(str(data.get("name", "circuit")))
+        for net in data["inputs"]:                # type: ignore[index]
+            circuit.add_input(net)
+        for name, gate_type, ins, output in data["gates"]:  # type: ignore[index]
+            circuit.add_gate(gate_type, list(ins), output=output,
+                             name=name)
+        for name, d, q, init, enable, clocked in data["latches"]:  # type: ignore[index]
+            circuit.add_latch(d, output=q, init=init, name=name,
+                              enable=enable, clocked=bool(clocked))
+        for net in data["outputs"]:               # type: ignore[index]
+            circuit.add_output(net)
+        return circuit
 
     # ------------------------------------------------------------------
     # Construction

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, Optional
 
 from repro.obs import metrics as _metrics
@@ -47,6 +48,8 @@ __all__ = [
     "inc", "gauge", "observe",
     "registry", "MetricsRegistry", "Histogram",
     "run_manifest", "export_state", "write_export", "load_export",
+    "flush", "start_periodic_export", "stop_periodic_export",
+    "PeriodicExporter",
     "SCHEMA",
 ]
 
@@ -114,6 +117,94 @@ def load_export(path: str) -> Dict[str, Any]:
         if key not in state:
             raise ValueError(f"{path}: export missing {key!r}")
     return state
+
+
+# ----------------------------------------------------------------------
+# Explicit / periodic export (long-running processes)
+# ----------------------------------------------------------------------
+def flush(path: Optional[str] = None,
+          seed: Optional[int] = None) -> Optional[Dict[str, Any]]:
+    """Write the telemetry export *now*, without waiting for exit.
+
+    Long-running processes (the estimation server, notebook
+    sessions) cannot rely on the historical atexit-only export.
+    ``path`` defaults to ``REPRO_OBS_EXPORT``; with neither set this
+    is a no-op returning ``None``, so instrumented code can call it
+    unconditionally.  Returns the exported state on success.
+    """
+    target = path or os.environ.get("REPRO_OBS_EXPORT")
+    if not target:
+        return None
+    return write_export(target, seed=seed)
+
+
+class PeriodicExporter:
+    """Background thread flushing the telemetry export on an interval.
+
+    Daemonic — it never blocks interpreter exit — and exception-safe:
+    a failed write (full disk, vanished directory) is swallowed and
+    retried at the next tick, the same contract as the atexit hook.
+    """
+
+    def __init__(self, interval_s: float, path: str) -> None:
+        self.interval_s = max(0.05, float(interval_s))
+        self.path = path
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-export", daemon=True)
+
+    def start(self) -> "PeriodicExporter":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                flush(self.path)
+            except Exception:
+                pass
+
+    def stop(self, final_flush: bool = True) -> None:
+        """Stop the exporter; by default write one last export."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+        if final_flush:
+            try:
+                flush(self.path)
+            except Exception:
+                pass
+
+
+_periodic_exporter: Optional[PeriodicExporter] = None
+
+
+def start_periodic_export(interval_s: float,
+                          path: Optional[str] = None
+                          ) -> Optional[PeriodicExporter]:
+    """Start (or restart) the process-wide periodic telemetry export.
+
+    ``path`` defaults to ``REPRO_OBS_EXPORT``; returns ``None`` (and
+    starts nothing) when no target path is resolvable.  Also enables
+    tracing — an exporter with nothing to export is never what the
+    caller meant.
+    """
+    global _periodic_exporter
+    target = path or os.environ.get("REPRO_OBS_EXPORT")
+    if not target:
+        return None
+    stop_periodic_export(final_flush=False)
+    enable()
+    _periodic_exporter = PeriodicExporter(interval_s, target).start()
+    return _periodic_exporter
+
+
+def stop_periodic_export(final_flush: bool = True) -> None:
+    """Stop the process-wide periodic export if one is running."""
+    global _periodic_exporter
+    if _periodic_exporter is not None:
+        _periodic_exporter.stop(final_flush=final_flush)
+        _periodic_exporter = None
 
 
 # ----------------------------------------------------------------------

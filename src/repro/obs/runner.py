@@ -59,13 +59,14 @@ SMOKE_BENCHES = [
     "bench_perf_eventsim.py",
     "bench_perf_streams.py",
     "bench_perf_backends.py",
+    "bench_perf_serve.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
 #: each: entries carry a ``speedup`` field compared against baseline.
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
                   "BENCH_eventsim.json", "BENCH_streams.json",
-                  "BENCH_backends.json"]
+                  "BENCH_backends.json", "BENCH_serve.json"]
 
 
 def default_repo_root() -> Path:
@@ -87,8 +88,8 @@ def discover_benches(bench_dir: Path) -> List[Path]:
 # Single-bench execution
 # ----------------------------------------------------------------------
 def _child_env(bench_dir: Path, telemetry_path: Path,
-               trace: bool, backend: Optional[str] = None
-               ) -> Dict[str, str]:
+               trace: bool, backend: Optional[str] = None,
+               store_dir: Optional[Path] = None) -> Dict[str, str]:
     env = dict(os.environ)
     src = Path(__file__).resolve().parents[2]
     env["PYTHONPATH"] = os.pathsep.join(
@@ -101,6 +102,8 @@ def _child_env(bench_dir: Path, telemetry_path: Path,
         env.pop("REPRO_OBS_EXPORT", None)
     if backend is not None:
         env["REPRO_ENGINE"] = backend
+    if store_dir is not None:
+        env["REPRO_STORE"] = str(store_dir)
     return env
 
 
@@ -128,14 +131,17 @@ def _telemetry_digest(path: Path) -> Optional[Dict[str, Any]]:
 
 def run_bench(bench: Path, timeout: float, trace: bool = True,
               retries: int = 1,
-              backend: Optional[str] = None) -> Dict[str, Any]:
+              backend: Optional[str] = None,
+              store_dir: Optional[Path] = None) -> Dict[str, Any]:
     """Run one bench file under pytest in a subprocess.
 
     Returns the BENCH_ALL entry: status in {ok, failed, timeout},
     duration, attempt count, and (on failure) the output tail.  Never
     raises — an un-runnable bench is a *result*, not an error.
     ``backend`` exports ``REPRO_ENGINE`` to the worker so the bench's
-    default-engine call sites run on that engine.
+    default-engine call sites run on that engine; ``store_dir``
+    exports ``REPRO_STORE`` so all benches share one plan store (a
+    structure compiled by any bench rehydrates in every other).
     """
     attempts = 0
     entry: Dict[str, Any] = {"bench": bench.name}
@@ -150,7 +156,7 @@ def run_bench(bench: Path, timeout: float, trace: bool = True,
                 proc = subprocess.run(
                     cmd, cwd=str(bench.parent), timeout=timeout,
                     env=_child_env(bench.parent, telemetry_path, trace,
-                                   backend),
+                                   backend, store_dir),
                     stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
                     text=True)
                 duration = time.perf_counter() - start
@@ -234,7 +240,8 @@ def gate_regressions(baselines: Dict[str, Dict[str, Any]],
 
 def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
               trace: bool = True, retries: int = 1,
-              progress=None, backend: Optional[str] = None
+              progress=None, backend: Optional[str] = None,
+              store_dir: Optional[Path] = None
               ) -> Dict[str, Dict[str, Any]]:
     """Fan the benches out over a worker pool; collect every result."""
     results: Dict[str, Dict[str, Any]] = {}
@@ -243,7 +250,8 @@ def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
 
     def work(bench: Path) -> Dict[str, Any]:
         entry = run_bench(bench, timeout=timeout, trace=trace,
-                          retries=retries, backend=backend)
+                          retries=retries, backend=backend,
+                          store_dir=store_dir)
         if progress is not None:
             progress(entry)
         return entry
@@ -313,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=list(ENGINES), default=None,
                         help="run bench workers with this default "
                              "engine (exports REPRO_ENGINE)")
+    parser.add_argument("--store", metavar="DIR", type=Path,
+                        default=None,
+                        help="shared plan-store directory exported to "
+                             "bench workers as REPRO_STORE (default: "
+                             "a sweep-lifetime temp dir)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="run bench workers without a shared "
+                             "plan store")
     parser.add_argument("--no-gate", action="store_true",
                         help="report perf regressions but never fail "
                              "the exit code on them")
@@ -367,9 +383,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   + (f"  (attempt {entry['attempts']})"
                      if entry["attempts"] > 1 else ""))
 
-    results = run_sweep(benches, jobs=jobs, timeout=timeout,
-                        trace=not args.no_trace, progress=progress,
-                        backend=args.backend)
+    store_tmp: Optional[tempfile.TemporaryDirectory] = None
+    if args.no_store:
+        store_dir: Optional[Path] = None
+    elif args.store is not None:
+        store_dir = args.store
+        store_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        store_tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        store_dir = Path(store_tmp.name)
+
+    try:
+        results = run_sweep(benches, jobs=jobs, timeout=timeout,
+                            trace=not args.no_trace, progress=progress,
+                            backend=args.backend, store_dir=store_dir)
+    finally:
+        if store_tmp is not None:
+            store_tmp.cleanup()
     regressions = gate_regressions(baselines, root,
                                    tolerance=args.tolerance)
     config = {
@@ -379,6 +409,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeout_s": timeout,
         "trace": not args.no_trace,
         "backend": args.backend,
+        "store": str(store_dir) if store_dir else None,
         "tolerance": args.tolerance,
         "bench_dir": str(bench_dir),
         "wall_s": round(time.perf_counter() - started, 3),

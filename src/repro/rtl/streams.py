@@ -13,12 +13,18 @@ their width in :class:`WordStream`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import store as artifact_store
 from repro.backend.core import default_engine, get_backend, resolve_engine
+
+#: Streams below this many bits skip the artifact store entirely —
+#: repacking is cheaper than a disk round trip.
+_STORE_MIN_BITS = 1 << 15
 
 
 @dataclass
@@ -63,13 +69,66 @@ class WordStream:
         self._cache[key] = (len(self.words), value)
         return value
 
+    def fingerprint(self) -> str:
+        """Content hash of the stream (width + words, hex, stable).
+
+        Keys the stream's packed representations in the
+        content-addressed artifact store, same contract as
+        :meth:`repro.logic.netlist.Circuit.fingerprint`: identical
+        across copies, pickling, and process boundaries.
+        """
+
+        def build() -> str:
+            nb = max(1, (self.width + 7) // 8)
+            h = hashlib.sha256(
+                f"stream/1:{self.width}:{len(self.words)}".encode())
+            chunk = 4096
+            for i in range(0, len(self.words), chunk):
+                h.update(b"".join(
+                    w.to_bytes(nb, "little")
+                    for w in self.words[i:i + chunk]))
+            return h.hexdigest()
+
+        return self._cached("fingerprint", build)
+
     def bit_planes(self):
-        """Cached bit-plane transpose (one bignum per bit lane)."""
+        """Cached bit-plane transpose (one bignum per bit lane).
+
+        Long streams additionally round-trip through the
+        content-addressed artifact store when a disk root is
+        configured (``REPRO_STORE``), so bench subprocesses and
+        server workers replaying a known stream skip the transpose.
+        """
         from repro.rtl import faststreams
 
-        return self._cached(
-            "planes",
-            lambda: faststreams.pack_planes(self.words, self.width))
+        def build():
+            st = artifact_store.get_store()
+            use_store = (st.root is not None
+                         and len(self.words) * self.width
+                         >= _STORE_MIN_BITS)
+            if use_store:
+                fp = self.fingerprint()
+                payload = st.get(fp, "bitplanes")
+                if payload is not None:
+                    try:
+                        if (int(payload["n"]) == len(self.words)
+                                and int(payload["width"]) == self.width):
+                            return faststreams.BitPlanes(
+                                [int(h, 16) if h else 0
+                                 for h in payload["lanes"]],
+                                len(self.words), self.width)
+                    except Exception:
+                        pass
+            planes = faststreams.pack_planes(self.words, self.width)
+            if use_store:
+                st.put(fp, "bitplanes", {
+                    "n": planes.n,
+                    "width": planes.width,
+                    "lanes": [format(lane, "x") for lane in planes.lanes],
+                })
+            return planes
+
+        return self._cached("planes", build)
 
     def packed_words(self) -> int:
         """Cached word-concatenated bignum at stride ``width``."""

@@ -187,6 +187,7 @@ class TestInstrumentationFlows:
     """Spans actually flow from the engines named in the issue."""
 
     def test_fastsim_emits_spans_and_counters(self):
+        from repro import store as artifact_store
         from repro.logic.fastsim import collect_activity
         from repro.logic.generators import ripple_carry_adder
         from repro.logic.simulate import random_vectors
@@ -195,7 +196,14 @@ class TestInstrumentationFlows:
         circuit = ripple_carry_adder(3)
         circuit.invalidate()
         vectors = random_vectors(circuit.inputs, 32, seed=0)
-        collect_activity(circuit, vectors)
+        # An empty plan store forces the compile path (a warm store
+        # would emit fastsim.rehydrate instead).
+        prev = artifact_store.set_store(
+            artifact_store.ArtifactStore(root=None))
+        try:
+            collect_activity(circuit, vectors)
+        finally:
+            artifact_store.set_store(prev)
         names = obs.span_names()
         assert "fastsim.collect_activity" in names
         assert "fastsim.collect_activity.fastsim.compile" in names

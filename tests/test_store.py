@@ -1,0 +1,426 @@
+"""Tests for repro.store and Circuit.fingerprint().
+
+Covers the three contracts the plan store depends on:
+
+- the structural fingerprint is stable across object identity,
+  construction order, pickling, and process boundaries, and changes
+  exactly when the structure changes;
+- the two-layer store (in-process LRU + disk) round-trips payloads,
+  evicts correctly, and degrades to a miss — never an error — on
+  corruption, truncation, version skew, or unwritable roots;
+- the engines (fastsim / fasttimer / eventsim) rehydrate plans from
+  the store bit-identically to a fresh compile, including across
+  processes and under sharded execution.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro import store as artifact_store
+from repro.logic import eventsim, fastsim, fasttimer
+from repro.logic.generators import counter, parity_tree, \
+    ripple_carry_adder
+from repro.logic.netlist import Circuit
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def mem_store():
+    """Fresh in-memory store installed as the process singleton."""
+    st = ArtifactStore(root=None)
+    prev = artifact_store.set_store(st)
+    yield st
+    artifact_store.set_store(prev)
+
+
+@pytest.fixture
+def disk_store(tmp_path):
+    """Fresh disk-backed store installed as the process singleton."""
+    st = ArtifactStore(root=tmp_path / "store")
+    prev = artifact_store.set_store(st)
+    yield st
+    artifact_store.set_store(prev)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_identical_structures_same_fingerprint(self):
+        a = ripple_carry_adder(8)
+        b = ripple_carry_adder(8)
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_structures_differ(self):
+        fps = {ripple_carry_adder(4).fingerprint(),
+               ripple_carry_adder(8).fingerprint(),
+               parity_tree(8).fingerprint(),
+               counter(8).fingerprint()}
+        assert len(fps) == 4
+
+    def test_name_independent(self):
+        a = ripple_carry_adder(6, name="adder_a")
+        b = ripple_carry_adder(6, name="adder_b")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_pickle_round_trip(self):
+        a = counter(7)
+        fp = a.fingerprint()
+        b = pickle.loads(pickle.dumps(a))
+        assert b.fingerprint() == fp
+
+    def test_pickle_before_first_fingerprint(self):
+        a = counter(7)
+        b = pickle.loads(pickle.dumps(a))    # cache never populated
+        assert b.fingerprint() == a.fingerprint()
+
+    def test_construction_order_independent(self):
+        def build(reverse: bool) -> Circuit:
+            c = Circuit("order")
+            ins = ["a", "b", "c"]
+            c.add_inputs(ins)
+            gates = [("AND2", ["a", "b"], "ab"),
+                     ("OR2", ["ab", "c"], "abc"),
+                     ("XOR2", ["a", "c"], "ac")]
+            if reverse:
+                # Dependency-free gates can be declared in any order;
+                # 'ac' does not depend on 'ab'.
+                gates = [gates[2], gates[0], gates[1]]
+            for gt, gi, go in gates:
+                c.add_gate(gt, gi, output=go)
+            c.add_output("abc")
+            c.add_output("ac")
+            return c
+
+        assert build(False).fingerprint() == build(True).fingerprint()
+
+    def test_stable_across_processes(self):
+        fp = ripple_carry_adder(8).fingerprint()
+        code = ("import sys; sys.path.insert(0, 'src');"
+                "from repro.logic.generators import ripple_carry_adder;"
+                "print(ripple_carry_adder(8).fingerprint())")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True,
+            text=True, check=True,
+            cwd=os.path.dirname(os.path.dirname(__file__)))
+        assert out.stdout.strip() == fp
+
+    def test_invalidate_without_mutation_keeps_fingerprint(self):
+        c = ripple_carry_adder(4)
+        fp = c.fingerprint()
+        c.invalidate()                 # version bump, same structure
+        assert c.fingerprint() == fp
+
+    def test_mutation_changes_fingerprint(self):
+        c = ripple_carry_adder(4)
+        fp = c.fingerprint()
+        c.add_gate("INV", [c.outputs[0]], output="extra")
+        assert c.fingerprint() != fp
+        fp2 = c.fingerprint()
+        c.add_output("extra")          # output pads are structural too
+        assert c.fingerprint() != fp2
+
+    def test_to_dict_round_trip(self):
+        a = counter(5)
+        b = Circuit.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert b.fingerprint() == a.fingerprint()
+        assert b.inputs == a.inputs
+        assert [g.output for g in b.gates] == [g.output for g in a.gates]
+        vectors = fastsim.random_packed_vectors(a.inputs, 64, seed=3)
+        assert fastsim.collect_activity(a, vectors).toggles == \
+            fastsim.collect_activity(b, vectors).toggles
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore mechanics
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_memory_round_trip(self, mem_store):
+        mem_store.put("f" * 64, "thing", {"x": 1})
+        assert mem_store.get("f" * 64, "thing") == {"x": 1}
+        stats = mem_store.stats()
+        assert stats["mem_hits"] == 1 and stats["puts"] == 1
+
+    def test_miss_counts(self, mem_store):
+        assert mem_store.get("0" * 64, "thing") is None
+        assert mem_store.stats()["misses"] == 1
+
+    def test_mem_lru_eviction(self):
+        st = ArtifactStore(root=None, mem_entries=2)
+        for i in range(3):
+            st.put(f"{i}" * 64, "k", {"i": i})
+        assert st.get("0" * 64, "k") is None      # evicted
+        assert st.get("2" * 64, "k") == {"i": 2}
+
+    def test_disk_persistence(self, tmp_path):
+        root = tmp_path / "s"
+        ArtifactStore(root=root).put("a" * 64, "plan", {"v": 7})
+        st2 = ArtifactStore(root=root)            # fresh process stand-in
+        assert st2.get("a" * 64, "plan") == {"v": 7}
+        assert st2.stats()["disk_hits"] == 1
+
+    def test_disk_eviction_by_size(self, tmp_path):
+        st = ArtifactStore(root=tmp_path / "s", max_bytes=4096,
+                           mem_entries=1)
+        blob = {"pad": "x" * 1500}
+        for i in range(8):
+            st.put(f"{i:064x}", "k", blob)
+        assert st.stats()["disk_evictions"] > 0
+        assert st.disk_bytes() <= 4096
+        # Newest entry survives eviction.
+        st2 = ArtifactStore(root=tmp_path / "s")
+        assert st2.get(f"{7:064x}", "k") == blob
+
+    def test_corrupt_file_recovers(self, tmp_path):
+        root = tmp_path / "s"
+        st = ArtifactStore(root=root)
+        st.put("b" * 64, "plan", {"v": 1})
+        path = root / (st.key("b" * 64, "plan") + ".json")
+        path.write_text("{ not json")
+        st2 = ArtifactStore(root=root)
+        assert st2.get("b" * 64, "plan") is None
+        assert st2.stats()["corrupt"] == 1
+        assert not path.exists()                  # quarantined
+        st2.put("b" * 64, "plan", {"v": 2})       # and re-cacheable
+        assert ArtifactStore(root=root).get("b" * 64, "plan") == {"v": 2}
+
+    def test_truncated_file_recovers(self, tmp_path):
+        root = tmp_path / "s"
+        st = ArtifactStore(root=root)
+        st.put("c" * 64, "plan", {"v": list(range(100))})
+        path = root / (st.key("c" * 64, "plan") + ".json")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])    # torn write stand-in
+        st2 = ArtifactStore(root=root)
+        assert st2.get("c" * 64, "plan") is None
+        assert st2.stats()["corrupt"] == 1
+
+    def test_cross_version_invalidation(self, tmp_path):
+        root = tmp_path / "s"
+        st = ArtifactStore(root=root)
+        st.put("d" * 64, "plan", {"v": 1})
+        path = root / (st.key("d" * 64, "plan") + ".json")
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = "repro.store/0"
+        path.write_text(json.dumps(envelope))
+        st2 = ArtifactStore(root=root)
+        assert st2.get("d" * 64, "plan") is None  # skew = miss
+
+    def test_wrong_fingerprint_in_envelope_is_miss(self, tmp_path):
+        root = tmp_path / "s"
+        st = ArtifactStore(root=root)
+        st.put("e" * 64, "plan", {"v": 1})
+        path = root / (st.key("e" * 64, "plan") + ".json")
+        envelope = json.loads(path.read_text())
+        envelope["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+        assert ArtifactStore(root=root).get("e" * 64, "plan") is None
+
+    def test_unwritable_root_is_quiet(self, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("occupied")
+        st = ArtifactStore(root=blocked / "nope")
+        st.put("a" * 64, "k", {"v": 1})           # must not raise
+        assert st.get("a" * 64, "k") == {"v": 1}  # mem layer still works
+
+    def test_configure_and_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(artifact_store.ENV_DIR, raising=False)
+        prev = artifact_store.set_store(None)
+        try:
+            st = artifact_store.configure(root=tmp_path / "cfg")
+            assert artifact_store.get_store() is st
+            assert os.environ[artifact_store.ENV_DIR] == \
+                str(tmp_path / "cfg")
+        finally:
+            artifact_store.set_store(prev)
+            os.environ.pop(artifact_store.ENV_DIR, None)
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def _store_worker(args):
+    root, fp, worker_id = args
+    st = ArtifactStore(root=root)
+    payload = {"worker": worker_id, "data": list(range(200))}
+    for i in range(20):
+        st.put(fp, "contended", payload)
+        got = st.get(fp, "contended")
+        if got is not None and "data" not in got:
+            return f"worker {worker_id}: bad payload {got}"
+    return None
+
+
+class TestConcurrency:
+    def test_parallel_writers_readers_same_key(self, tmp_path):
+        root = str(tmp_path / "s")
+        fp = "ab" * 32
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        with ctx.Pool(4) as pool:
+            errors = [e for e in pool.map(
+                _store_worker, [(root, fp, i) for i in range(4)]) if e]
+        assert errors == []
+        # Whatever won the final race, the entry must parse cleanly.
+        final = ArtifactStore(root=root).get(fp, "contended")
+        assert final is not None and len(final["data"]) == 200
+
+
+# ----------------------------------------------------------------------
+# Engine rehydration
+# ----------------------------------------------------------------------
+class TestRehydration:
+    def test_fastsim_rehydrate_bit_identical(self, mem_store):
+        a = ripple_carry_adder(8)
+        vectors = fastsim.random_packed_vectors(a.inputs, 256, seed=11)
+        cold = fastsim.collect_activity(a, vectors)
+        assert mem_store.stats()["misses"] >= 1
+        b = ripple_carry_adder(8)                 # same structure
+        warm = fastsim.collect_activity(b, vectors)
+        assert mem_store.stats()["mem_hits"] >= 1
+        assert warm.toggles == cold.toggles
+        assert warm.ones == cold.ones
+        assert warm.switched_capacitance == cold.switched_capacitance
+
+    def test_fastsim_rehydrate_from_disk(self, tmp_path):
+        root = tmp_path / "s"
+        vectors = None
+        results = []
+        for _ in range(2):
+            # A brand-new store each round: the second can only hit
+            # the disk layer, as a forked worker would.
+            prev = artifact_store.set_store(ArtifactStore(root=root))
+            try:
+                c = counter(8)
+                if vectors is None:
+                    vectors = fastsim.random_packed_vectors(
+                        c.inputs, 128, seed=5)
+                results.append(
+                    fastsim.collect_activity(c, vectors).toggles)
+                stats = artifact_store.get_store().stats()
+            finally:
+                artifact_store.set_store(prev)
+        assert results[0] == results[1]
+        assert stats["disk_hits"] >= 1
+
+    def test_fastsim_rehydrate_binds_by_name(self, mem_store):
+        # Same structure, different construction order: the cached
+        # plan's slots must rebind to the new circuit by net name.
+        def build(reverse):
+            c = Circuit("bind")
+            c.add_inputs(["p", "q", "r"])
+            order = [("AND2", ["p", "q"], "pq"),
+                     ("XOR2", ["q", "r"], "qr")]
+            if reverse:
+                order.reverse()
+            for gt, gi, go in order:
+                c.add_gate(gt, gi, output=go)
+            c.add_output("pq")
+            c.add_output("qr")
+            return c
+
+        a, b = build(False), build(True)
+        assert a.fingerprint() == b.fingerprint()
+        vectors = fastsim.random_packed_vectors(a.inputs, 64, seed=9)
+        ta = fastsim.collect_activity(a, vectors).toggles
+        tb = fastsim.collect_activity(b, vectors).toggles
+        assert ta == tb
+
+    def test_fasttimer_rehydrate_bit_identical(self, mem_store):
+        a = ripple_carry_adder(6)
+        vectors = fastsim.random_packed_vectors(a.inputs, 128, seed=2)
+        cold = fasttimer.timed_activity(a, vectors)
+        b = ripple_carry_adder(6)
+        warm = fasttimer.timed_activity(b, vectors)
+        assert warm.toggles == cold.toggles
+        assert warm.events == cold.events
+        assert warm.glitches == cold.glitches
+
+    def test_fasttimer_sharded_warm(self, disk_store):
+        a = counter(6)
+        vectors = fastsim.random_packed_vectors(a.inputs, 512, seed=4)
+        serial = fasttimer.timed_activity(a, vectors)
+        b = counter(6)
+        sharded = fasttimer.timed_activity(b, vectors, workers=2)
+        assert sharded.toggles == serial.toggles
+        assert sharded.events == serial.events
+
+    def test_tick_grid_rehydrate(self, mem_store):
+        a = parity_tree(8)
+        grid_a = eventsim.tick_grid(a)
+        b = parity_tree(8)
+        grid_b = eventsim.tick_grid(b)
+        assert grid_b.quantum == grid_a.quantum
+        assert grid_b.ticks == grid_a.ticks
+        assert mem_store.stats()["mem_hits"] >= 1
+
+    def test_rehydrate_vs_reference_engine(self, mem_store):
+        a = ripple_carry_adder(5)
+        vectors = fastsim.random_packed_vectors(a.inputs, 64, seed=13)
+        fastsim.collect_activity(a, vectors)      # populate store
+        b = ripple_carry_adder(5)
+        warm = fastsim.collect_activity(b, vectors)
+        ref = fastsim.collect_activity(
+            ripple_carry_adder(5), vectors.to_vectors())
+        assert warm.toggles == ref.toggles
+
+    def test_garbage_payload_falls_back_to_compile(self, mem_store):
+        c = ripple_carry_adder(4)
+        mem_store.put(c.fingerprint(), fastsim.STORE_KIND,
+                      {"nets": ["bogus"], "caps": [], "code": {}})
+        vectors = fastsim.random_packed_vectors(c.inputs, 32, seed=1)
+        report = fastsim.collect_activity(c, vectors)   # must not raise
+        ref = fastsim.collect_activity(
+            ripple_carry_adder(4), vectors.to_vectors())
+        assert report.toggles == ref.toggles
+
+
+def _cross_process_activity(args):
+    root, width, seed = args
+    prev = artifact_store.set_store(ArtifactStore(root=root))
+    try:
+        c = ripple_carry_adder(width)
+        vectors = fastsim.random_packed_vectors(c.inputs, 128,
+                                                seed=seed)
+        report = fastsim.collect_activity(c, vectors)
+        stats = artifact_store.get_store().stats()
+        return sorted(report.toggles.items()), stats["disk_hits"]
+    finally:
+        artifact_store.set_store(prev)
+
+
+class TestCrossProcess:
+    def test_plans_cross_process_boundary(self, tmp_path):
+        root = str(tmp_path / "s")
+        # Seed the store from this process...
+        first, hits0 = _cross_process_activity((root, 7, 21))
+        assert hits0 == 0
+        # ...then rehydrate in real child processes.
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        with ctx.Pool(2) as pool:
+            results = pool.map(_cross_process_activity,
+                               [(root, 7, 21)] * 2)
+        for toggles, disk_hits in results:
+            assert toggles == first
+            assert disk_hits >= 1
+
+    def test_code_blob_marshal_fast_path(self):
+        source = "def __probe(x):\n    return x * 3\n"
+        code = compile(source, "<probe>", "exec")
+        blob = artifact_store.code_blob(source, "<probe>", code)
+        assert blob["magic"]                       # tagged
+        fn = artifact_store.load_function(blob, "__probe")
+        assert fn(14) == 42
+        # Magic mismatch (old interpreter's cache) → source fallback.
+        stale = dict(blob, magic="deadbeef")
+        assert artifact_store.load_function(stale, "__probe")(14) == 42
