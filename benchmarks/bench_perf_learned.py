@@ -1,0 +1,179 @@
+"""Perf — learned macromodels: accuracy-vs-speed Pareto.
+
+Not a paper figure: this bench guards the learned-macromodel claim of
+``repro.estimation.learned`` — that a per-design model characterized
+through the fast engines beats the fixed Section II-C macromodels on
+*per-window* accuracy while staying in the same evaluation-cost class.
+Two measurements land in ``BENCH_learned.json``:
+
+- ``accuracy_pareto``: for every member of the characterization
+  population, fit the learned model and the fixed ladder (DBT /
+  bitwise / PFA) on the shared training mix, then score per-window
+  MAPE on held-out *phased* stimulus (style changes mid-stream — the
+  workload windowed models exist for).  Gates: the learned model must
+  win on a majority of the population and its per-window evaluation
+  must cost <= 5x the parametric (DBT) prediction path.  The median
+  accuracy ratio (best fixed MAPE / learned MAPE) is recorded as
+  ``speedup`` so the orchestrator's ratio gate tracks it against the
+  committed baseline.
+- ``store_roundtrip``: fit-once-predict-anywhere — a model fitted and
+  persisted through a disk ArtifactStore is rehydrated by a fresh
+  store instance (the cross-process path) and must predict
+  bit-identically; the rehydrate must be far cheaper than the fit.
+"""
+
+import statistics
+import tempfile
+
+from _perf_common import REPO_ROOT, measure, record
+
+from conftest import shape
+
+from repro import store as artifact_store
+from repro.estimation.learned import (
+    FeatureConfig,
+    evaluate_component,
+    load_model,
+    model_for,
+)
+from repro.logic import fastsim
+from repro.logic.generators import ripple_carry_adder
+from repro.rtl.components import make_component
+from repro.store import ArtifactStore
+
+RESULTS_PATH = REPO_ROOT / "BENCH_learned.json"
+
+_SEED = 0
+_TRAIN_CYCLES = 1024
+_TRAIN_RUNS = 10
+_HOLDOUT_RUNS = 6
+_COST_LIMIT = 5.0        # learned predict <= 5x the parametric path
+
+
+def test_perf_learned_accuracy_pareto(once):
+    """Learned beats the fixed ladder on most of the population."""
+    from repro.estimation.learned.characterize import POPULATION
+
+    config = FeatureConfig()
+
+    def experiment():
+        rows = []
+        for spec in POPULATION:
+            component = make_component(spec["component"],
+                                       spec["width"])
+            rows.append(evaluate_component(
+                component, config, runs=_HOLDOUT_RUNS, seed=_SEED,
+                train_cycles=_TRAIN_CYCLES, train_runs=_TRAIN_RUNS))
+        return rows
+
+    rows = once(experiment)
+
+    wins = sum(1 for r in rows if r["learned_wins"])
+    ratios = [r["best_fixed_mape"] / max(r["techniques"]["learned"]
+                                         ["mape"], 1e-9)
+              for r in rows]
+    cost_ratios = [r["techniques"]["learned"]["predict_s"]
+                   / max(r["techniques"]["dbt"]["predict_s"], 1e-9)
+                   for r in rows]
+    accuracy_ratio = statistics.median(ratios)
+    cost_ratio = statistics.median(cost_ratios)
+
+    record(RESULTS_PATH, "accuracy_pareto", {
+        "population": [r["component"] for r in rows],
+        "train_cycles": _TRAIN_CYCLES,
+        "train_runs": _TRAIN_RUNS,
+        "holdout_runs": _HOLDOUT_RUNS,
+        "seed": _SEED,
+        "per_component": {
+            r["component"]: {
+                "learned_mape": round(r["techniques"]["learned"]
+                                      ["mape"], 4),
+                "best_fixed_mape": round(r["best_fixed_mape"], 4),
+                "learned_wins": r["learned_wins"],
+                "fit_s": round(r["techniques"]["learned"]["fit_s"], 4),
+                "predict_s": round(r["techniques"]["learned"]
+                                   ["predict_s"], 6),
+                "dbt_predict_s": round(r["techniques"]["dbt"]
+                                       ["predict_s"], 6),
+            } for r in rows
+        },
+        "wins": wins,
+        "cost_ratio_vs_parametric": round(cost_ratio, 3),
+        "speedup": round(accuracy_ratio, 3),
+    })
+    print()
+    for r in rows:
+        learned = r["techniques"]["learned"]["mape"]
+        print(f"Perf: {r['component']:10s} learned {learned:6.3f} vs "
+              f"best fixed {r['best_fixed_mape']:6.3f}  "
+              f"({'learned' if r['learned_wins'] else 'fixed'} wins)")
+    print(f"Perf: learned wins {wins}/{len(rows)}, median accuracy "
+          f"ratio {accuracy_ratio:.2f}x, predict cost "
+          f"{cost_ratio:.2f}x parametric")
+
+    shape(f"learned wins the per-window MAPE contest on a majority "
+          f"of the population ({wins}/{len(rows)})",
+          wins * 2 > len(rows))
+    shape(f"learned evaluation within {_COST_LIMIT:.0f}x of the "
+          f"parametric path (got {cost_ratio:.2f}x)",
+          cost_ratio <= _COST_LIMIT)
+
+
+def test_perf_learned_store_roundtrip(once):
+    """Fit once, rehydrate anywhere, predict bit-identically."""
+    config = FeatureConfig()
+    circuit = ripple_carry_adder(8)
+    vectors = fastsim.random_packed_vectors(circuit.inputs, 2048,
+                                            seed=123)
+
+    def experiment():
+        prev = artifact_store.get_store()
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-learned-") as tmp:
+            try:
+                artifact_store.set_store(ArtifactStore(root=tmp))
+                t_fit = measure(lambda: model_for(
+                    ripple_carry_adder(8), config, seed=_SEED))
+                fitted = model_for(circuit, config, seed=_SEED)
+                p_fit = fitted.predict_power(vectors)
+
+                # Fresh store instance over the same directory: the
+                # cross-process rehydrate path (mem layer starts
+                # cold, payload comes off disk).
+                def rehydrate():
+                    artifact_store.set_store(ArtifactStore(root=tmp))
+                    return load_model(circuit.fingerprint(), config)
+
+                t_load = measure(rehydrate, repeats=3)
+                loaded = rehydrate()
+                p_load = loaded.predict_power(vectors)
+            finally:
+                artifact_store.set_store(prev)
+        return fitted, loaded, p_fit, p_load, t_fit, t_load
+
+    fitted, loaded, p_fit, p_load, t_fit, t_load = once(experiment)
+
+    record(RESULTS_PATH, "store_roundtrip", {
+        "circuit": "ripple_carry_adder(8)",
+        "cycles": 2048,
+        "fit_s": round(t_fit, 4),
+        "rehydrate_s": round(t_load, 6),
+        "fit_over_rehydrate": round(t_fit / max(t_load, 1e-9), 1),
+        "bit_identical": p_fit == p_load,
+    })
+    print()
+    print(f"Perf: learned model fit {t_fit * 1e3:.0f} ms vs store "
+          f"rehydrate {t_load * 1e3:.2f} ms "
+          f"({t_fit / max(t_load, 1e-9):.0f}x); prediction "
+          f"{'bit-identical' if p_fit == p_load else 'DIVERGED'}")
+
+    shape("rehydrated model predicts bit-identically to the fitted "
+          "one", p_fit == p_load)
+    shape("rehydrated model carries its provenance (coeffs, signals, "
+          "CV report)",
+          loaded.coeffs == fitted.coeffs
+          and loaded.signals == fitted.signals
+          and loaded.report is not None)
+    shape(f"store rehydrate is >= 10x cheaper than refit (got "
+          f"{t_fit / max(t_load, 1e-9):.1f}x)",
+          t_fit >= 10.0 * t_load)

@@ -6,6 +6,7 @@ Commands:
   experiments   list the paper-reproduction benches and how to run them
   bench         run the benches in parallel; aggregate BENCH_ALL.json
   serve         run the estimation HTTP service over a warm worker pool
+  learn         characterize / fit / evaluate learned power macromodels
 
 ``info`` and ``experiments`` accept ``--json`` for machine-readable
 output; ``bench`` forwards to :mod:`repro.obs.runner` (see
@@ -94,6 +95,12 @@ def cmd_serve(args: Sequence[str]) -> int:
     return serve_main(list(args))
 
 
+def cmd_learn(args: Sequence[str]) -> int:
+    from repro.estimation.learned.cli import main as learn_main
+
+    return learn_main(list(args))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "info"
@@ -103,6 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": cmd_experiments,
         "bench": cmd_bench,
         "serve": cmd_serve,
+        "learn": cmd_learn,
     }
     handler = handlers.get(command)
     if handler is None:

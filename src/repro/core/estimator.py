@@ -196,6 +196,20 @@ class PowerEstimator:
                                            freq=self.freq)
             return EstimateResult(power, "transition-density", "gate",
                                   cost=circuit.gate_count())
+        if technique == "learned":
+            if vectors is None:
+                raise ValueError("learned estimation needs stimulus "
+                                 "vectors")
+            from repro.estimation.learned import model_for
+
+            model = model_for(circuit)
+            power = model.predict_power(vectors) \
+                * self.vdd * self.vdd * self.freq
+            # Evaluation walks input lanes only — cost scales with
+            # cycles and model terms, not gate count.
+            return EstimateResult(
+                power, "learned/windowed-ridge", "rtl",
+                cost=float(len(vectors) * max(1, model.n_terms)))
         if technique == "monte-carlo":
             from repro.estimation.probabilistic import monte_carlo_power
 

@@ -1,0 +1,78 @@
+"""repro.estimation.learned — learned power macromodels.
+
+The data-driven rung of the estimation ladder: instead of the fixed
+feature sets of Section II-C (PFA constants, DBT bit types, bitwise
+activities), this subsystem *learns* a per-design model from measured
+activity — the Simmani / HL-Pow recipe transplanted onto the repo's
+fast engines:
+
+1. **features** — per-window toggle rates of a compact proxy-signal
+   set (correlation-clustered via popcount kernels), their polynomial
+   products, and netlist-structure scalars;
+2. **characterize** — sweep the circuit/stimulus population through
+   the bit-parallel simulator, label windows with gate-level switched
+   energy, record every seed in the obs run manifest;
+3. **model** — ridge-fitted windowed regression with k-fold CV and
+   feature pruning, persisted as JSON in the content-addressed
+   artifact store (fit once anywhere, predict bit-identically
+   everywhere);
+4. **integration** — ``estimate(technique="learned")`` on
+   :class:`repro.core.PowerEstimator`, the ``learned`` job technique
+   of :mod:`repro.serve`, and ``python -m repro learn``.
+"""
+
+from repro.estimation.learned.characterize import (
+    POPULATION,
+    StimulusRun,
+    WindowDataset,
+    characterize_circuit,
+    characterize_component,
+    characterize_population,
+    stimulus_suite,
+)
+from repro.estimation.learned.evaluate import (
+    evaluate_component,
+    evaluate_model,
+    holdout_streams,
+    window_truth,
+)
+from repro.estimation.learned.features import (
+    FeatureConfig,
+    SignalClusters,
+    cluster_signals,
+    feature_names,
+    input_lanes,
+    structural_features,
+    toggle_lanes,
+    window_features,
+    window_slices,
+)
+from repro.estimation.learned.model import (
+    FitReport,
+    LearnedMacroModel,
+    LearnedModel,
+    MODEL_KIND,
+    fit_learned,
+    load_model,
+    model_for,
+    save_model,
+    windowed_mape,
+)
+
+__all__ = [
+    # features
+    "FeatureConfig", "SignalClusters", "cluster_signals",
+    "feature_names", "input_lanes", "structural_features",
+    "toggle_lanes", "window_features", "window_slices",
+    # characterization
+    "POPULATION", "StimulusRun", "WindowDataset",
+    "characterize_circuit", "characterize_component",
+    "characterize_population", "stimulus_suite",
+    # model
+    "FitReport", "LearnedMacroModel", "LearnedModel", "MODEL_KIND",
+    "fit_learned", "load_model", "model_for", "save_model",
+    "windowed_mape",
+    # evaluation
+    "evaluate_component", "evaluate_model", "holdout_streams",
+    "window_truth",
+]

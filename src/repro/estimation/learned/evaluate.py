@@ -1,0 +1,204 @@
+"""Held-out evaluation of learned models against the fixed ladder.
+
+Everything here compares *per-window* power — the quantity the
+learned model regresses — on stimulus the fit never saw.  The fixed
+Section II-C macromodels (DBT, bitwise, PFA) predict a single average
+power per stream, so their windowed prediction is that constant
+repeated per window: exactly the handicap the learned model is
+supposed to beat on non-stationary workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.estimation.learned.characterize import _run_seed
+from repro.estimation.learned.features import FeatureConfig, window_slices
+from repro.estimation.learned.model import (
+    LearnedModel,
+    fit_learned,
+    windowed_mape,
+)
+from repro.rtl.components import RtlComponent, circuit_cycle_energies
+
+__all__ = [
+    "window_truth", "evaluate_model", "evaluate_component",
+    "holdout_streams",
+]
+
+
+def window_truth(circuit, stimulus,
+                 config: Optional[FeatureConfig] = None) -> List[float]:
+    """Gate-level per-window mean energy — the reference waveform."""
+    config = config or FeatureConfig()
+    energies = circuit_cycle_energies(circuit, stimulus)
+    return [sum(energies[start:start + length]) / length
+            for start, length in window_slices(len(energies),
+                                               config.window)]
+
+
+def holdout_streams(component: RtlComponent, runs: int = 6,
+                    length: int = 512, seed: int = 7777,
+                    segment: int = 128):
+    """Held-out *phased* word streams (seed-disjoint from training).
+
+    Each stream concatenates ``segment``-cycle phases of different
+    statistics (uniform random, biased, correlated, held constant) —
+    the workload shape windowed models exist for: power varies within
+    a trace, and a single per-stream average cannot track it.  The
+    base seed is mapped through :func:`repro.estimation.learned.
+    characterize._run_seed`, keeping test stimulus disjoint from the
+    characterization runs.
+    """
+    import random as _random
+
+    from repro.rtl.streams import (
+        WordStream,
+        constant_stream,
+        correlated_stream,
+        random_stream,
+    )
+
+    rng = _random.Random(_run_seed(seed, 1))
+    suites = []
+    for _r in range(runs):
+        streams = []
+        for prefix, width in component.input_ports:
+            words: List[int] = []
+            t = 0
+            while t < length:
+                seg = min(segment, length - t)
+                style = rng.randrange(4)
+                s = rng.randrange(1 << 30)
+                if style == 0:
+                    part = random_stream(width, seg, seed=s)
+                elif style == 1:
+                    part = random_stream(
+                        width, seg, seed=s,
+                        bit_prob=rng.choice([0.1, 0.25, 0.75, 0.9]))
+                elif style == 2 and width > 1:
+                    part = correlated_stream(
+                        width, seg, rho=rng.choice([0.8, 0.95]),
+                        seed=s)
+                else:
+                    part = constant_stream(width, seg,
+                                           rng.randrange(1 << width))
+                words.extend(part.words)
+                t += seg
+            streams.append(WordStream(words, width, prefix))
+        suites.append(streams)
+    return suites
+
+
+def evaluate_model(model: LearnedModel, circuit, stimuli,
+                   config: Optional[FeatureConfig] = None
+                   ) -> Dict[str, Any]:
+    """Per-window MAPE of ``model`` over held-out packed stimuli."""
+    config = config or model.config
+    predicted: List[float] = []
+    truth: List[float] = []
+    t0 = time.perf_counter()
+    for stimulus in stimuli:
+        predicted.extend(model.predict_windows(stimulus))
+    predict_s = time.perf_counter() - t0
+    for stimulus in stimuli:
+        truth.extend(window_truth(circuit, stimulus, config))
+    return {
+        "mape": windowed_mape(predicted, truth),
+        "windows": len(truth),
+        "predict_s": predict_s,
+    }
+
+
+def _fixed_window_predictions(macromodel, streams_list,
+                              component: RtlComponent,
+                              config: FeatureConfig) -> List[float]:
+    """A fixed macromodel's per-window view: its constant per-stream
+    average, repeated once per window of that stream."""
+    out: List[float] = []
+    for streams in streams_list:
+        avg = macromodel.predict(streams)
+        n_slots = min(len(s) for s in streams) - 1
+        out.extend(avg for _ in window_slices(n_slots, config.window))
+    return out
+
+
+def evaluate_component(component: RtlComponent,
+                       config: Optional[FeatureConfig] = None,
+                       fixed: Sequence[str] = ("dbt", "bitwise", "pfa"),
+                       runs: int = 6, length: int = 512,
+                       seed: int = 0,
+                       holdout_seed: int = 7777,
+                       train_cycles: int = 1024,
+                       train_runs: int = 10) -> Dict[str, Any]:
+    """Fit learned + fixed models on shared training stimulus and
+    score all of them, per-window, on shared held-out stimulus.
+
+    Returns per-technique MAPE plus fit/predict wall times, the raw
+    material of the accuracy-vs-speed Pareto in
+    ``benchmarks/bench_perf_learned.py``.
+    """
+    from repro.estimation.learned.characterize import (
+        characterize_component,
+    )
+    from repro.estimation.macromodel import (
+        MACROMODELS,
+        fit_macromodel,
+    )
+    from repro.logic import fastsim
+
+    config = config or FeatureConfig()
+    result: Dict[str, Any] = {"component": component.name,
+                              "techniques": {}}
+
+    t0 = time.perf_counter()
+    dataset = characterize_component(component, config, seed=seed,
+                                     cycles=train_cycles,
+                                     runs=train_runs)
+    model = fit_learned(dataset)
+    fit_s = time.perf_counter() - t0
+
+    held = holdout_streams(component, runs=runs, length=length,
+                           seed=holdout_seed)
+    packed = [fastsim.pack_streams(component.input_ports, streams)
+              for streams in held]
+    truth: List[float] = []
+    for stim in packed:
+        truth.extend(window_truth(component.circuit, stim, config))
+
+    t0 = time.perf_counter()
+    predicted: List[float] = []
+    for stim in packed:
+        predicted.extend(model.predict_windows(stim))
+    predict_s = time.perf_counter() - t0
+    result["techniques"]["learned"] = {
+        "mape": windowed_mape(predicted, truth),
+        "fit_s": fit_s,
+        "predict_s": predict_s,
+        "terms": model.n_terms,
+        "cv_mape": model.report.cv_mape if model.report else None,
+    }
+
+    for name in fixed:
+        factory = MACROMODELS[name]
+        t0 = time.perf_counter()
+        mm = fit_macromodel(factory(), component, seed=seed)
+        f_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pred = _fixed_window_predictions(mm, held, component, config)
+        p_s = time.perf_counter() - t0
+        result["techniques"][name] = {
+            "mape": windowed_mape(pred, truth),
+            "fit_s": f_s,
+            "predict_s": p_s,
+        }
+
+    result["windows"] = len(truth)
+    fixed_mapes = [result["techniques"][n]["mape"] for n in fixed]
+    result["best_fixed_mape"] = min(fixed_mapes) if fixed_mapes else None
+    result["learned_wins"] = (
+        result["best_fixed_mape"] is not None
+        and result["techniques"]["learned"]["mape"]
+        < result["best_fixed_mape"])
+    return result

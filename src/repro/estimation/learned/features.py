@@ -1,0 +1,261 @@
+"""Feature extraction for learned power macromodels.
+
+The learned subsystem replaces the hand-derived feature sets of the
+Section II-C macromodels with features *discovered* from the design
+and its measured activity, the HL-Pow / Simmani recipe:
+
+- **signal selection**: every circuit input contributes a per-cycle
+  toggle stream; streams are clustered by Pearson correlation of
+  their toggle patterns (computed with popcount kernels on the packed
+  bit planes, :func:`repro.rtl.faststreams.correlation_matrix`) and
+  one representative *proxy signal* per cluster survives — a compact
+  basis that still spans the design's activity modes;
+- **windowed activity**: per ``window``-cycle window, each proxy
+  signal yields its toggle rate; polynomial combinations (degree 2 by
+  default) capture the interaction terms Simmani's windowed
+  polynomial regression relies on;
+- **structure**: operator/gate counts, widths, latch counts, and
+  total switched capacitance from the netlist, so pooled multi-design
+  fits can separate designs (within one design they are constants the
+  ridge fitter absorbs).
+
+Everything here is deterministic: same circuit + same stimulus +
+same :class:`FeatureConfig` gives bit-identical features in any
+process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.bits import popcount
+
+__all__ = [
+    "FeatureConfig", "SignalClusters",
+    "toggle_lanes", "cluster_signals", "window_slices",
+    "window_features", "feature_names", "structural_features",
+    "input_lanes",
+]
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Knobs of the learned feature space (hashable, serializable).
+
+    The :meth:`key` hash participates in the artifact-store key, so
+    models fitted under different configurations never collide.
+    """
+
+    window: int = 64           # cycles per regression window
+    degree: int = 2            # polynomial degree over toggle rates
+    max_signals: int = 16      # proxy signals kept after clustering
+    cluster_threshold: float = 0.8   # |corr| that merges two signals
+    structural: bool = True    # include netlist-structure scalars
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "degree": self.degree,
+            "max_signals": self.max_signals,
+            "cluster_threshold": self.cluster_threshold,
+            "structural": self.structural,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FeatureConfig":
+        return cls(window=int(data["window"]),
+                   degree=int(data["degree"]),
+                   max_signals=int(data["max_signals"]),
+                   cluster_threshold=float(data["cluster_threshold"]),
+                   structural=bool(data["structural"]))
+
+    def key(self) -> str:
+        """Short content hash used in artifact-store kinds."""
+        canon = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# Stimulus plumbing
+# ----------------------------------------------------------------------
+def input_lanes(stimulus) -> Tuple[Dict[str, int], int]:
+    """Per-input bit lanes (bit ``t`` = value in cycle ``t``).
+
+    Accepts packed vectors (:class:`repro.logic.fastsim.
+    PackedVectors`) or a list of per-cycle input dicts; both
+    normalize to the same ``{net: lane}`` view.
+    """
+    words = getattr(stimulus, "words", None)
+    if isinstance(words, dict):
+        return dict(words), len(stimulus)
+    lanes: Dict[str, int] = {}
+    for t, vec in enumerate(stimulus):
+        for name, value in vec.items():
+            if value:
+                lanes[name] = lanes.get(name, 0) | (1 << t)
+            else:
+                lanes.setdefault(name, 0)
+    return lanes, len(stimulus)
+
+
+def toggle_lanes(lanes: Dict[str, int], n: int) -> Dict[str, int]:
+    """Per-input toggle streams: bit ``t`` set iff cycle ``t -> t+1``
+    flips the input.  Length ``n - 1`` bits (transition slots), the
+    same time base as :func:`repro.rtl.components.
+    circuit_cycle_energies` labels."""
+    if n < 2:
+        return {name: 0 for name in lanes}
+    mask = (1 << (n - 1)) - 1
+    return {name: (lane ^ (lane >> 1)) & mask
+            for name, lane in lanes.items()}
+
+
+# ----------------------------------------------------------------------
+# Simmani-style signal clustering
+# ----------------------------------------------------------------------
+@dataclass
+class SignalClusters:
+    """Outcome of proxy-signal selection."""
+
+    signals: List[str]                      # representatives, ordered
+    assignment: Dict[str, str] = field(default_factory=dict)
+    dropped: List[str] = field(default_factory=list)  # constant inputs
+
+
+def cluster_signals(toggles: Dict[str, int], n_slots: int,
+                    config: FeatureConfig) -> SignalClusters:
+    """Pick ≤ ``max_signals`` proxy inputs by toggle correlation.
+
+    Greedy leader clustering over the Pearson correlation of the
+    toggle streams (popcount Gram matrix on the packed lanes — no
+    float matrix of shape ``n x width`` is ever built): signals are
+    visited in decreasing toggle count; a signal joins the first
+    existing representative correlated above ``cluster_threshold``,
+    otherwise founds a new cluster while slots remain, otherwise
+    joins its most-correlated representative.  Inputs that never
+    toggle in the training stimulus carry no information and are
+    dropped outright.
+    """
+    from repro.rtl.faststreams import BitPlanes, correlation_matrix
+
+    names = sorted(toggles)
+    active = [name for name in names if toggles[name]]
+    dropped = [name for name in names if not toggles[name]]
+    if not active or n_slots <= 0:
+        return SignalClusters(signals=[], dropped=dropped)
+
+    planes = BitPlanes([toggles[name] for name in active], n_slots,
+                       len(active))
+    corr = correlation_matrix(planes)
+    index = {name: i for i, name in enumerate(active)}
+    order = sorted(active,
+                   key=lambda s: (-popcount(toggles[s]), s))
+
+    reps: List[str] = []
+    assignment: Dict[str, str] = {}
+    for name in order:
+        row = corr[index[name]]
+        best_rep, best_corr = None, 0.0
+        for rep in reps:
+            c = abs(float(row[index[rep]]))
+            if c > best_corr:
+                best_rep, best_corr = rep, c
+        if best_rep is not None and best_corr >= config.cluster_threshold:
+            assignment[name] = best_rep
+        elif len(reps) < config.max_signals:
+            reps.append(name)
+            assignment[name] = name
+        elif best_rep is not None:
+            assignment[name] = best_rep
+        else:                      # zero correlation with every rep
+            assignment[name] = reps[0]
+    reps.sort()
+    return SignalClusters(signals=reps, assignment=assignment,
+                          dropped=dropped)
+
+
+# ----------------------------------------------------------------------
+# Windowing
+# ----------------------------------------------------------------------
+def window_slices(n_slots: int, window: int
+                  ) -> List[Tuple[int, int]]:
+    """(start, length) spans over ``n_slots`` transition slots.
+
+    Full windows only; a trace shorter than one window becomes a
+    single partial window (so two-cycle stimuli still produce one
+    labeled sample).  Zero slots → no windows.
+    """
+    if n_slots <= 0:
+        return []
+    window = max(1, window)
+    if n_slots < window:
+        return [(0, n_slots)]
+    return [(k * window, window) for k in range(n_slots // window)]
+
+
+def feature_names(signals: Sequence[str], config: FeatureConfig,
+                  structural: Optional[Dict[str, float]] = None
+                  ) -> List[str]:
+    """Column labels matching :func:`window_features` order."""
+    names = [f"t:{s}" for s in signals]
+    if config.degree >= 2:
+        for i in range(len(signals)):
+            for j in range(i, len(signals)):
+                names.append(f"t:{signals[i]}*t:{signals[j]}")
+    if config.structural and structural:
+        names.extend(f"s:{k}" for k in sorted(structural))
+    return names
+
+
+def window_features(toggles: Dict[str, int], n_slots: int,
+                    signals: Sequence[str], config: FeatureConfig,
+                    structural: Optional[Dict[str, float]] = None
+                    ) -> List[List[float]]:
+    """One feature row per window: proxy toggle rates, their degree-2
+    products, and (optionally) the structural scalars."""
+    rows: List[List[float]] = []
+    struct_cols: List[float] = []
+    if config.structural and structural:
+        struct_cols = [float(structural[k]) for k in sorted(structural)]
+    for start, length in window_slices(n_slots, config.window):
+        mask = (1 << length) - 1
+        rates = [popcount((toggles.get(s, 0) >> start) & mask) / length
+                 for s in signals]
+        row = list(rates)
+        if config.degree >= 2:
+            for i in range(len(rates)):
+                for j in range(i, len(rates)):
+                    row.append(rates[i] * rates[j])
+        row.extend(struct_cols)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Structure
+# ----------------------------------------------------------------------
+def structural_features(circuit) -> Dict[str, float]:
+    """Netlist-structure scalars: gate mix, widths, capacitance.
+
+    Constant per design — they matter when a single model is pooled
+    over several designs (the cross-design generalization mode) and
+    collapse into the intercept otherwise.
+    """
+    kind_counts: Dict[str, int] = {}
+    for gate in circuit.gates:
+        kind_counts[gate.gate_type] = \
+            kind_counts.get(gate.gate_type, 0) + 1
+    caps = circuit.load_capacitances()
+    feats: Dict[str, float] = {
+        "gates": float(circuit.gate_count()),
+        "latches": float(len(getattr(circuit, "latches", []))),
+        "inputs": float(len(circuit.inputs)),
+        "outputs": float(len(circuit.outputs)),
+        "total_cap": float(sum(caps.values())),
+    }
+    for kind in ("AND", "OR", "XOR", "INV", "MUX2", "NAND", "NOR"):
+        feats[f"n_{kind.lower()}"] = float(kind_counts.get(kind, 0))
+    return feats

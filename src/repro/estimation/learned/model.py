@@ -1,0 +1,483 @@
+"""Fitting, persistence, and prediction of learned power models.
+
+The regressor is windowed ridge polynomial regression (Simmani's
+shape): per-window proxy-signal toggle rates and their degree-2
+products against windowed mean switched energy.  Fitting adds an
+intercept column, solves through :func:`repro.estimation.macromodel.
+ridge_lstsq` (the shared singular-matrix-safe solver), prunes features
+whose contribution is negligible, and cross-validates with
+deterministic striped k-folds, reporting per-window MAPE.
+
+Models are plain JSON: coefficients, proxy-signal names, the feature
+configuration, and training provenance (seeds, window counts, CV
+error).  They persist in the content-addressed
+:class:`repro.store.ArtifactStore` keyed by the circuit's structural
+fingerprint plus the feature-config hash — fit once in any process,
+predict bit-identically in every other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro import store as artifact_store
+from repro.estimation.learned.characterize import (
+    WindowDataset,
+    characterize_circuit,
+)
+from repro.estimation.learned.features import (
+    FeatureConfig,
+    input_lanes,
+    toggle_lanes,
+    window_features,
+    window_slices,
+)
+
+__all__ = [
+    "LearnedModel", "FitReport", "fit_learned", "windowed_mape",
+    "save_model", "load_model", "model_for", "LearnedMacroModel",
+    "MODEL_KIND",
+]
+
+#: Artifact-store kind prefix; the feature-config hash is appended so
+#: models under different configurations coexist per fingerprint.
+MODEL_KIND = "learned-model"
+
+#: Windows with truth below this absolute floor are excluded from
+#: relative-error denominators (zero-power windows would otherwise
+#: divide by zero).
+_POWER_FLOOR = 1e-12
+
+#: Features whose |coefficient| * column-std contributes less than
+#: this fraction of the largest contribution are pruned.
+_PRUNE_FRACTION = 1e-4
+
+
+def windowed_mape(predicted: Sequence[float],
+                  truth: Sequence[float]) -> float:
+    """Mean absolute relative error over non-zero-power windows.
+
+    Zero-power windows (a held-constant component, a clock-gated
+    region) carry no relative scale; they are skipped rather than
+    poisoning the mean.  All-zero truth returns 0.0 when the
+    prediction is also (near) zero and the mean absolute prediction
+    otherwise — a degenerate-but-honest score.
+    """
+    num = 0.0
+    count = 0
+    for p, t in zip(predicted, truth):
+        if t > _POWER_FLOOR:
+            num += abs(p - t) / t
+            count += 1
+    if count:
+        return num / count
+    live = [abs(p) for p, t in zip(predicted, truth)]
+    return sum(live) / len(live) if live else 0.0
+
+
+@dataclass
+class FitReport:
+    """Cross-validation and pruning outcome of one fit."""
+
+    cv_mape: float
+    fold_mapes: List[float]
+    train_mape: float
+    n_windows: int
+    n_features: int
+    pruned: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cv_mape": self.cv_mape,
+            "fold_mapes": list(self.fold_mapes),
+            "train_mape": self.train_mape,
+            "n_windows": self.n_windows,
+            "n_features": self.n_features,
+            "pruned": list(self.pruned),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FitReport":
+        return cls(cv_mape=float(data["cv_mape"]),
+                   fold_mapes=[float(x) for x in data["fold_mapes"]],
+                   train_mape=float(data["train_mape"]),
+                   n_windows=int(data["n_windows"]),
+                   n_features=int(data["n_features"]),
+                   pruned=list(data.get("pruned", [])))
+
+
+@dataclass
+class LearnedModel:
+    """A fitted windowed power model for one circuit structure."""
+
+    fingerprint: str
+    name: str
+    config: FeatureConfig
+    signals: List[str]
+    feature_names: List[str]     # post-pruning, order of ``coeffs[1:]``
+    coeffs: List[float]          # [intercept, *feature coefficients]
+    structural: Dict[str, float] = field(default_factory=dict)
+    report: Optional[FitReport] = None
+    seed: int = 0
+
+    # -- prediction ----------------------------------------------------
+    def _keep_columns(self) -> List[int]:
+        """Un-pruned-order indices of the kept feature columns
+        (computed once per model instance — prediction is hot)."""
+        keep = getattr(self, "_keep", None)
+        if keep is None:
+            from repro.estimation.learned.features import feature_names
+
+            all_names = feature_names(self.signals, self.config,
+                                      self.structural or None)
+            position = {fname: i for i, fname in enumerate(all_names)}
+            keep = [position[fname] for fname in self.feature_names]
+            self._keep = keep
+        return keep
+
+    def _rows(self, stimulus) -> List[List[float]]:
+        lanes, n = input_lanes(stimulus)
+        toggles = toggle_lanes(lanes, n)
+        full = window_features(toggles, max(0, n - 1), self.signals,
+                               self.config,
+                               self.structural or None)
+        if not full:
+            return []
+        keep = self._keep_columns()
+        return [[row[i] for i in keep] for row in full]
+
+    def predict_windows(self, stimulus) -> List[float]:
+        """Per-window power predictions (clipped at zero)."""
+        rows = self._rows(stimulus)
+        out: List[float] = []
+        b0 = self.coeffs[0]
+        bs = self.coeffs[1:]
+        for row in rows:
+            acc = b0
+            for c, x in zip(bs, row):
+                acc += c * x
+            out.append(acc if acc > 0.0 else 0.0)
+        return out
+
+    def predict_power(self, stimulus) -> float:
+        """Mean power over the stimulus (energy/cycle at vdd=1, f=1)."""
+        windows = self.predict_windows(stimulus)
+        if not windows:
+            return 0.0
+        # Weight by window length: the tail partial window (if the
+        # trace is shorter than one window) is the only window.
+        return sum(windows) / len(windows)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.coeffs)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.learned.model/1",
+            "fingerprint": self.fingerprint,
+            "name": self.name,
+            "config": self.config.to_dict(),
+            "signals": list(self.signals),
+            "feature_names": list(self.feature_names),
+            "coeffs": [float(c) for c in self.coeffs],
+            "structural": dict(self.structural),
+            "report": self.report.to_dict() if self.report else None,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LearnedModel":
+        if data.get("schema") != "repro.learned.model/1":
+            raise ValueError(
+                f"not a learned model payload: {data.get('schema')!r}")
+        report = data.get("report")
+        return cls(
+            fingerprint=data["fingerprint"],
+            name=data["name"],
+            config=FeatureConfig.from_dict(data["config"]),
+            signals=list(data["signals"]),
+            feature_names=list(data["feature_names"]),
+            coeffs=[float(c) for c in data["coeffs"]],
+            structural={k: float(v)
+                        for k, v in data.get("structural", {}).items()},
+            report=FitReport.from_dict(report) if report else None,
+            seed=int(data.get("seed", 0)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Fitting
+# ----------------------------------------------------------------------
+def _design(rows: Sequence[Sequence[float]]) -> List[List[float]]:
+    return [[1.0, *row] for row in rows]
+
+
+def _solve(rows: Sequence[Sequence[float]],
+           targets: Sequence[float]) -> List[float]:
+    from repro.estimation.macromodel import ridge_lstsq
+
+    if not rows:
+        return [0.0]
+    coeffs = ridge_lstsq(_design(rows), targets)
+    return [float(c) for c in coeffs]
+
+
+def _predict_rows(coeffs: Sequence[float],
+                  rows: Sequence[Sequence[float]]) -> List[float]:
+    out = []
+    for row in rows:
+        acc = coeffs[0]
+        for c, x in zip(coeffs[1:], row):
+            acc += c * x
+        out.append(acc if acc > 0.0 else 0.0)
+    return out
+
+
+def _cross_validate(rows: List[List[float]], targets: List[float],
+                    folds: int) -> List[float]:
+    """Striped k-fold CV; deterministic, no shuffling randomness."""
+    n = len(rows)
+    folds = max(2, min(folds, n))
+    mapes: List[float] = []
+    for f in range(folds):
+        train_idx = [i for i in range(n) if i % folds != f]
+        test_idx = [i for i in range(n) if i % folds == f]
+        if not train_idx or not test_idx:
+            continue
+        coeffs = _solve([rows[i] for i in train_idx],
+                        [targets[i] for i in train_idx])
+        pred = _predict_rows(coeffs, [rows[i] for i in test_idx])
+        mapes.append(windowed_mape(pred,
+                                   [targets[i] for i in test_idx]))
+    return mapes
+
+
+def fit_learned(dataset: WindowDataset, folds: int = 4,
+                prune: bool = True) -> LearnedModel:
+    """Fit (ridge + pruning + k-fold CV) a model from one dataset.
+
+    Degenerate datasets are handled, not rejected: a single window
+    fits an intercept-only model; constant features survive through
+    the ridge fallback; an empty dataset yields the zero model.
+    """
+    with obs.span("learned.fit", windows=len(dataset),
+                  features=len(dataset.feature_names)):
+        rows = [list(r) for r in dataset.rows]
+        targets = list(dataset.targets)
+        names = list(dataset.feature_names)
+
+        coeffs = _solve(rows, targets)
+        pruned: List[str] = []
+        if prune and rows and len(coeffs) > 1:
+            import math
+
+            n = len(rows)
+            contributions = []
+            for j in range(len(names)):
+                col = [row[j] for row in rows]
+                mean = sum(col) / n
+                var = sum((x - mean) ** 2 for x in col) / n
+                contributions.append(abs(coeffs[j + 1])
+                                     * math.sqrt(var))
+            top = max(contributions) if contributions else 0.0
+            if top > 0.0:
+                keep = [j for j, c in enumerate(contributions)
+                        if c >= _PRUNE_FRACTION * top]
+                if len(keep) < len(names):
+                    pruned = [names[j] for j in range(len(names))
+                              if j not in set(keep)]
+                    names = [names[j] for j in keep]
+                    rows = [[row[j] for j in keep] for row in rows]
+                    coeffs = _solve(rows, targets)
+
+        fold_mapes = _cross_validate(rows, targets, folds) \
+            if len(rows) >= 2 else []
+        train_mape = windowed_mape(_predict_rows(coeffs, rows), targets)
+        cv = sum(fold_mapes) / len(fold_mapes) if fold_mapes \
+            else train_mape
+        report = FitReport(
+            cv_mape=cv,
+            fold_mapes=fold_mapes,
+            train_mape=train_mape,
+            n_windows=len(rows),
+            n_features=len(names),
+            pruned=pruned,
+        )
+    obs.inc("learned.fits")
+    return LearnedModel(
+        fingerprint=dataset.fingerprint,
+        name=dataset.name,
+        config=dataset.config,
+        signals=list(dataset.signals),
+        feature_names=names,
+        coeffs=coeffs,
+        structural=dict(dataset.structural),
+        report=report,
+        seed=dataset.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence (ArtifactStore)
+# ----------------------------------------------------------------------
+def _store_kind(config: FeatureConfig) -> str:
+    return f"{MODEL_KIND}-{config.key()}"
+
+
+def save_model(model: LearnedModel,
+               store: Optional[artifact_store.ArtifactStore] = None
+               ) -> None:
+    """Persist under (circuit fingerprint, config hash)."""
+    st = store or artifact_store.get_store()
+    st.put(model.fingerprint, _store_kind(model.config),
+           model.to_dict())
+
+
+def load_model(fingerprint: str,
+               config: Optional[FeatureConfig] = None,
+               store: Optional[artifact_store.ArtifactStore] = None
+               ) -> Optional[LearnedModel]:
+    """Rehydrate a fitted model, or ``None`` on a store miss."""
+    st = store or artifact_store.get_store()
+    payload = st.get(fingerprint, _store_kind(config or FeatureConfig()))
+    if payload is None:
+        return None
+    try:
+        return LearnedModel.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None         # corrupt payload degrades to a refit
+
+
+def model_for(circuit, config: Optional[FeatureConfig] = None,
+              cycles: int = 1024, seed: int = 0, runs: int = 8,
+              store: Optional[artifact_store.ArtifactStore] = None
+              ) -> LearnedModel:
+    """Load-or-learn: the serving entry point.
+
+    A store hit (same structure, same feature config) returns the
+    persisted model without touching a simulator; a miss runs the
+    full characterize-and-fit loop and persists the result for every
+    later process sharing the store.
+    """
+    config = config or FeatureConfig()
+    cached = load_model(circuit.fingerprint(), config, store=store)
+    if cached is not None:
+        obs.inc("learned.model.hits")
+        return cached
+    obs.inc("learned.model.fits")
+    dataset = characterize_circuit(circuit, config, cycles=cycles,
+                                   seed=seed, runs=runs)
+    model = fit_learned(dataset)
+    save_model(model, store=store)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Macro-model ladder adapter
+# ----------------------------------------------------------------------
+class LearnedMacroModel:
+    """Adapter slotting the learned model into the Section II-C ladder.
+
+    Implements the ``fit(component, training)`` / ``predict(streams)``
+    protocol of :class:`repro.estimation.macromodel.MacroModel`, so
+    the learned model drops into every existing evaluation path
+    (census/sampler/adaptive sampling, bench C5's comparisons) as one
+    more rung — the rung that learns its features instead of
+    inheriting them from the paper.
+    """
+
+    name = "learned"
+
+    def __init__(self, config: Optional[FeatureConfig] = None,
+                 seed: int = 0) -> None:
+        self.config = config or FeatureConfig()
+        self.seed = seed
+        self.model: Optional[LearnedModel] = None
+        self._component = None
+
+    def fit(self, component, training) -> None:
+        from repro.estimation.learned.characterize import \
+            characterize_component
+        from repro.logic import fastsim
+        from repro.rtl.components import circuit_cycle_energies
+        from repro.estimation.learned.features import (
+            cluster_signals, feature_names, structural_features,
+        )
+
+        self._component = component
+        if training is None:
+            dataset = characterize_component(
+                component, self.config, seed=self.seed)
+            self.model = fit_learned(dataset)
+            return
+        # Fit from the supplied training sets (the shared-protocol
+        # path): pool toggles, cluster, window, label, fit.
+        circuit = component.circuit
+        pooled = {name: 0 for name in circuit.inputs}
+        pooled_slots = 0
+        per_run = []
+        for streams in training:
+            packed = fastsim.pack_streams(component.input_ports,
+                                          streams)
+            lanes, n = input_lanes(packed)
+            toggles = toggle_lanes(lanes, n)
+            energies = circuit_cycle_energies(circuit, packed)
+            for name, lane in toggles.items():
+                pooled[name] |= lane << pooled_slots
+            pooled_slots += max(0, n - 1)
+            per_run.append((toggles, max(0, n - 1), energies))
+        clusters = cluster_signals(pooled, pooled_slots, self.config)
+        structural = structural_features(circuit) \
+            if self.config.structural else {}
+        names = feature_names(clusters.signals, self.config,
+                              structural or None)
+        rows: List[List[float]] = []
+        targets: List[float] = []
+        for toggles, n_slots, energies in per_run:
+            feats = window_features(toggles, n_slots, clusters.signals,
+                                    self.config, structural or None)
+            spans = window_slices(n_slots, self.config.window)
+            for (start, length), row in zip(spans, feats):
+                rows.append(row)
+                targets.append(
+                    sum(energies[start:start + length]) / length)
+        dataset = WindowDataset(
+            name=component.name,
+            fingerprint=circuit.fingerprint(),
+            config=self.config,
+            signals=clusters.signals,
+            feature_names=names,
+            rows=rows,
+            targets=targets,
+            seed=self.seed,
+            structural=structural,
+        )
+        self.model = fit_learned(dataset)
+
+    def predict(self, streams) -> float:
+        from repro.logic import fastsim
+
+        if self.model is None or self._component is None:
+            raise RuntimeError("model not fitted")
+        packed = fastsim.pack_streams(self._component.input_ports,
+                                      streams)
+        return self.model.predict_power(packed)
+
+    def predict_windows(self, streams) -> List[float]:
+        from repro.logic import fastsim
+
+        if self.model is None or self._component is None:
+            raise RuntimeError("model not fitted")
+        packed = fastsim.pack_streams(self._component.input_ports,
+                                      streams)
+        return self.model.predict_windows(packed)
+
+    def error(self, component, streams) -> float:
+        truth = component.reference_power(streams)
+        if truth == 0:
+            return 0.0
+        return abs(self.predict(streams) - truth) / truth

@@ -69,10 +69,56 @@ class MacroModel:
         return abs(self.predict(streams) - truth) / truth
 
 
+#: Relative condition threshold beyond which plain least squares is
+#: considered untrustworthy and the ridge fallback takes over.
+_COND_LIMIT = 1e10
+
+
+def ridge_lstsq(features: np.ndarray, targets: np.ndarray,
+                l2: Optional[float] = None) -> np.ndarray:
+    """Least squares with a ridge fallback for degenerate designs.
+
+    Characterization data routinely produces singular or
+    ill-conditioned feature matrices — constant streams (zero-activity
+    columns), duplicated stimulus runs, single-sample training sets,
+    width-1 components whose few features are collinear.  Plain
+    ``np.linalg.lstsq`` then returns rank-deficient minimum-norm
+    solutions (or, at extreme conditioning, numerically garbage
+    coefficients).  This wrapper detects both cases and re-solves the
+    Tikhonov-regularized normal equations instead; with ``l2`` given,
+    the ridge solve is unconditional (the learned fitter's path).
+    The result is always finite.
+    """
+    matrix = np.atleast_2d(np.asarray(features, dtype=float))
+    y = np.asarray(targets, dtype=float).reshape(-1)
+    if matrix.size == 0 or y.size == 0:
+        return np.zeros(matrix.shape[1] if matrix.ndim == 2 else 0)
+    if l2 is None:
+        coeffs, _residual, rank, sv = np.linalg.lstsq(matrix, y,
+                                                      rcond=None)
+        well_conditioned = (
+            rank == matrix.shape[1]
+            and np.all(np.isfinite(coeffs))
+            and len(sv) > 0 and sv[0] > 0
+            and sv[0] / max(sv[-1], 1e-300) < _COND_LIMIT)
+        if well_conditioned:
+            return coeffs
+    gram = matrix.T @ matrix
+    scale = float(np.trace(gram)) / max(1, gram.shape[0])
+    lam = l2 if l2 is not None else max(1e-12, 1e-8 * max(scale, 1.0))
+    try:
+        coeffs = np.linalg.solve(
+            gram + lam * np.eye(gram.shape[0]), matrix.T @ y)
+    except np.linalg.LinAlgError:
+        coeffs = np.linalg.pinv(matrix) @ y
+    if not np.all(np.isfinite(coeffs)):
+        coeffs = np.zeros(matrix.shape[1])
+    return coeffs
+
+
 def _lstsq_nonneg_bias(features: np.ndarray, targets: np.ndarray
                        ) -> np.ndarray:
-    coeffs, *_ = np.linalg.lstsq(features, targets, rcond=None)
-    return coeffs
+    return ridge_lstsq(features, targets)
 
 
 class PfaModel(MacroModel):
@@ -420,3 +466,17 @@ def fit_macromodel(model: MacroModel, component: RtlComponent,
         training = characterization_streams(component, seed=seed)
     model.fit(component, training)
     return model
+
+
+#: Zero-argument factories for every fixed rung of the accuracy
+#: ladder, keyed by model name.  The learned subsystem and the
+#: benches use this to sweep "all fixed macromodels" without
+#: hand-maintaining the list in each caller.
+MACROMODELS: Dict[str, type] = {
+    PfaModel.name: PfaModel,
+    DualBitTypeModel.name: DualBitTypeModel,
+    BitwiseModel.name: BitwiseModel,
+    InputOutputModel.name: InputOutputModel,
+    Table3DModel.name: Table3DModel,
+    CycleAccurateModel.name: CycleAccurateModel,
+}

@@ -68,6 +68,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_backends.py", kind="perf"),
     Experiment("P6", "plan-store warm starts + estimation service loadgen",
                "bench_perf_serve.py", kind="perf"),
+    Experiment("P7", "learned macromodels vs the fixed ladder (Pareto)",
+               "bench_perf_learned.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [
@@ -87,6 +89,8 @@ SUBSYSTEMS: List[Dict[str, str]] = [
      "description": "energy-annotated ISA simulator"},
     {"module": "repro.estimation",
      "description": "Section II: all surveyed estimation models"},
+    {"module": "repro.estimation.learned",
+     "description": "learned macromodels: characterize / fit / serve"},
     {"module": "repro.optimization",
      "description": "Section III: all surveyed optimizations"},
     {"module": "repro.core",

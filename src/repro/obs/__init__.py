@@ -35,7 +35,12 @@ from typing import Any, Dict, Optional
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.obs.manifest import run_manifest
+from repro.obs.manifest import (
+    add_run_record,
+    clear_run_records,
+    run_manifest,
+    run_records,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, registry
 from repro.obs.trace import NULL_SPAN, Span, span
 
@@ -47,7 +52,9 @@ __all__ = [
     "enable", "disable", "enabled", "reset",
     "inc", "gauge", "observe",
     "registry", "MetricsRegistry", "Histogram",
-    "run_manifest", "export_state", "write_export", "load_export",
+    "run_manifest", "add_run_record", "run_records",
+    "clear_run_records",
+    "export_state", "write_export", "load_export",
     "flush", "start_periodic_export", "stop_periodic_export",
     "PeriodicExporter",
     "SCHEMA",

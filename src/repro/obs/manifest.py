@@ -11,10 +11,38 @@ from __future__ import annotations
 import os
 import platform
 import sys
+import threading
 import time
 from typing import Any, Dict, Optional
 
-__all__ = ["run_manifest"]
+__all__ = ["run_manifest", "add_run_record", "run_records",
+           "clear_run_records"]
+
+#: Process-wide provenance records merged into every manifest.
+#: Characterization sweeps (:mod:`repro.estimation.learned`) register
+#: their seeds and circuit fingerprints here so any telemetry export
+#: or BENCH_ALL.json produced later in the process says exactly which
+#: stimuli trained which models — the reproducibility contract for
+#: learned results.
+_run_records: Dict[str, list] = {}
+_records_lock = threading.Lock()
+
+
+def add_run_record(key: str, record: Dict[str, Any]) -> None:
+    """Append a provenance record under ``key`` (e.g. seeds used)."""
+    with _records_lock:
+        _run_records.setdefault(key, []).append(record)
+
+
+def run_records() -> Dict[str, list]:
+    """Snapshot of the accumulated provenance records."""
+    with _records_lock:
+        return {k: list(v) for k, v in _run_records.items()}
+
+
+def clear_run_records() -> None:
+    with _records_lock:
+        _run_records.clear()
 
 
 def run_manifest(seed: Optional[int] = None,
@@ -37,6 +65,9 @@ def run_manifest(seed: Optional[int] = None,
         "timestamp": time.time(),
         "seed": seed,
     }
+    records = run_records()
+    if records:
+        manifest["records"] = records
     if extra:
         manifest.update(extra)
     return manifest

@@ -60,13 +60,15 @@ SMOKE_BENCHES = [
     "bench_perf_streams.py",
     "bench_perf_backends.py",
     "bench_perf_serve.py",
+    "bench_perf_learned.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
 #: each: entries carry a ``speedup`` field compared against baseline.
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
                   "BENCH_eventsim.json", "BENCH_streams.json",
-                  "BENCH_backends.json", "BENCH_serve.json"]
+                  "BENCH_backends.json", "BENCH_serve.json",
+                  "BENCH_learned.json"]
 
 
 def default_repo_root() -> Path:

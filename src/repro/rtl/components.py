@@ -106,36 +106,55 @@ class RtlComponent:
         """Per-cycle switched energy (for cycle-accurate macro-models)."""
         from repro.logic import fastsim
 
-        caps = self.circuit.load_capacitances()
         packed = fastsim.pack_streams(self.input_ports, operand_streams)
-        try:
-            words, n = fastsim.net_words(self.circuit, packed)
-        except fastsim.CompileError:
-            return self._cycle_energies_reference(packed.to_vectors(),
-                                                  caps, vdd)
-        raw = [0.0] * max(0, n - 1)
-        boundary_mask = ((1 << n) - 1) & ~1
-        for net in caps:
-            diff = words[net]
-            diff = (diff ^ (diff << 1)) & boundary_mask
-            cap = caps[net]
-            while diff:
-                lsb = diff & -diff
-                raw[lsb.bit_length() - 2] += cap
-                diff ^= lsb
-        return [0.5 * vdd * vdd * e for e in raw]
+        return circuit_cycle_energies(self.circuit, packed, vdd=vdd)
 
-    def _cycle_energies_reference(self, vectors: Sequence[Dict[str, int]],
-                                  caps: Dict[str, float],
-                                  vdd: float) -> List[float]:
-        from repro.logic.simulate import simulate
 
-        trace = simulate(self.circuit, vectors)
-        energies: List[float] = []
-        for prev, cur in zip(trace, trace[1:]):
-            e = sum(caps[net] for net in caps if prev[net] != cur[net])
-            energies.append(0.5 * vdd * vdd * e)
-        return energies
+def circuit_cycle_energies(circuit: Circuit, stimulus,
+                           vdd: float = 1.0) -> List[float]:
+    """Per-cycle switched energy of any circuit under any stimulus.
+
+    ``stimulus`` is either packed vectors or a list of per-cycle input
+    dicts.  Entry ``t`` is the energy of the ``t -> t+1`` transition,
+    so a batch of ``n`` cycles yields ``n - 1`` energies.  This is the
+    ground-truth labeling primitive shared by the cycle-accurate
+    macro-models and the learned characterization flow
+    (:mod:`repro.estimation.learned`).
+    """
+    from repro.logic import fastsim
+
+    caps = circuit.load_capacitances()
+    try:
+        words, n = fastsim.net_words(circuit, stimulus)
+    except fastsim.CompileError:
+        vectors = stimulus.to_vectors() \
+            if hasattr(stimulus, "to_vectors") else stimulus
+        return _cycle_energies_reference(circuit, vectors, caps, vdd)
+    raw = [0.0] * max(0, n - 1)
+    boundary_mask = ((1 << n) - 1) & ~1
+    for net in caps:
+        diff = words[net]
+        diff = (diff ^ (diff << 1)) & boundary_mask
+        cap = caps[net]
+        while diff:
+            lsb = diff & -diff
+            raw[lsb.bit_length() - 2] += cap
+            diff ^= lsb
+    return [0.5 * vdd * vdd * e for e in raw]
+
+
+def _cycle_energies_reference(circuit: Circuit,
+                              vectors: Sequence[Dict[str, int]],
+                              caps: Dict[str, float],
+                              vdd: float) -> List[float]:
+    from repro.logic.simulate import simulate
+
+    trace = simulate(circuit, vectors)
+    energies: List[float] = []
+    for prev, cur in zip(trace, trace[1:]):
+        e = sum(caps[net] for net in caps if prev[net] != cur[net])
+        energies.append(0.5 * vdd * vdd * e)
+    return energies
 
 
 def _signed(word: int, width: int) -> int:

@@ -28,7 +28,7 @@ A JOB is::
                    "params": {"width": 8}}         # or {"netlist": ...}
                                                    # or {"blif": "..."}
      "technique": "simulation" | "event-driven" | "probabilistic"
-                  | "monte-carlo" | "entropy",
+                  | "monte-carlo" | "entropy" | "learned",
      "engine":    "fast" | "numpy" | "reference" | "auto",   # optional
      "cycles":    256,            # stimulus length (simulation-backed)
      "seed":      1,              # stimulus seed
@@ -73,7 +73,7 @@ __all__ = ["EstimationServer", "Client", "run_job", "main",
 #: :class:`repro.core.estimator.PowerEstimator` — the ones that take a
 #: netlist + optional stimulus).
 TECHNIQUES = ("simulation", "event-driven", "probabilistic",
-              "monte-carlo", "entropy")
+              "monte-carlo", "entropy", "learned")
 
 #: Circuit generators a job may name (allowlist; arbitrary callables
 #: never cross the wire).
@@ -147,7 +147,12 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
 
         estimator = PowerEstimator(vdd=float(job.get("vdd", 1.0)),
                                    freq=float(job.get("freq", 1.0)))
-        if technique in ("simulation", "event-driven"):
+        if technique in ("simulation", "event-driven", "learned"):
+            # "learned" is simulation-backed too: the stimulus drives
+            # the model's windowed features.  Fitted models come from
+            # the shared artifact store, so the first worker to see a
+            # structure pays the characterize+fit cost and every
+            # later job (any worker, any process) rehydrates it.
             vectors = fastsim.random_packed_vectors(
                 circuit.inputs, cycles, seed=seed)
             if engine == "reference":

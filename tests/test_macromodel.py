@@ -126,6 +126,66 @@ class TestMacroModels:
             model.error(adder, streams)
 
 
+class TestDegenerateTraining:
+    """The fixed ladder must stay finite on pathological training
+    inputs — constant streams (singular design matrices), one-run
+    training sets, width-1 components (the ridge-guard satellite)."""
+
+    MODELS = [PfaModel, DualBitTypeModel, BitwiseModel,
+              InputOutputModel, Table3DModel, CycleAccurateModel]
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_constant_stream_training(self, factory):
+        import math
+
+        component = make_component("add", 4)
+        training = [[constant_stream(4, 60, 5),
+                     constant_stream(4, 60, 9)] for _ in range(4)]
+        model = fit_macromodel(factory(), component, training=training)
+        predicted = model.predict(_test_streams(4))
+        assert math.isfinite(predicted)
+
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_single_sample_training(self, factory):
+        import math
+
+        component = make_component("add", 4)
+        training = characterization_streams(component, runs=1,
+                                            length=60, seed=3)
+        model = fit_macromodel(factory(), component, training=training)
+        assert math.isfinite(model.predict(_test_streams(4)))
+
+    @pytest.mark.parametrize("factory",
+                             [PfaModel, BitwiseModel,
+                              InputOutputModel, CycleAccurateModel])
+    def test_width1_component(self, factory):
+        import math
+
+        component = make_component("reg", 1)
+        training = characterization_streams(component, runs=6,
+                                            length=60, seed=2)
+        model = fit_macromodel(factory(), component, training=training)
+        assert math.isfinite(model.predict(
+            [random_stream(1, 80, seed=11)]))
+
+    def test_zero_activity_training_predicts_training_mean(self):
+        # A register fed constants: every activity feature is zero,
+        # so the design matrix is singular — the ridge guard must
+        # still recover the intercept (= the training-mean power)
+        # instead of returning garbage.
+        import math
+
+        component = make_component("reg", 4)
+        streams = [constant_stream(4, 60, 7)]
+        training = [streams for _ in range(3)]
+        truth = component.reference_power(streams)
+        model = fit_macromodel(BitwiseModel(), component,
+                               training=training)
+        predicted = model.predict(streams)
+        assert math.isfinite(predicted)
+        assert predicted == pytest.approx(truth, rel=1e-6)
+
+
 class TestSampling:
     @pytest.fixture(scope="class")
     def fitted(self):
