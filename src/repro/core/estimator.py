@@ -19,6 +19,7 @@ estimation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -71,6 +72,9 @@ def _traced(method):
 class PowerEstimator:
     """Facade over the estimation techniques of Section II."""
 
+    #: Bound on the per-estimator packed-stimulus memo (entries).
+    PACK_CACHE_ENTRIES = 8
+
     def __init__(self, vdd: float = 1.0, freq: float = 1.0,
                  engine: str = "fast") -> None:
         self.vdd = vdd
@@ -78,6 +82,7 @@ class PowerEstimator:
         #: Gate-level simulation engine: "fast" (bit-parallel
         #: compiled, exactly equivalent) or "reference" (scalar).
         self.engine = engine
+        self._pack_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Software level (Section II-A)
@@ -169,12 +174,33 @@ class PowerEstimator:
         if technique == "simulation":
             if vectors is None:
                 raise ValueError("simulation needs stimulus vectors")
+            from repro.logic import incremental
             from repro.logic.simulate import collect_activity
 
             engine = engine or self.engine
-            power = collect_activity(
-                circuit, vectors, engine=engine,
-            ).average_power(vdd=self.vdd, freq=self.freq)
+            # Transparent incremental path: when this process has
+            # already simulated a structurally nearby circuit under
+            # the same stimulus, splice the cached cones instead of
+            # resimulating everything.  With an empty cone cache the
+            # probe costs one len() check; the report is bit-identical
+            # either way.
+            report = incremental.cached_activity(circuit, vectors,
+                                                 engine=engine)
+            if report is None:
+                report = collect_activity(circuit, vectors, engine=engine)
+            power = report.average_power(vdd=self.vdd, freq=self.freq)
+            return EstimateResult(power, f"{technique}/{engine}", "gate",
+                                  cost=len(vectors) * circuit.gate_count())
+        if technique == "incremental":
+            if vectors is None:
+                raise ValueError("incremental simulation needs stimulus "
+                                 "vectors")
+            from repro.logic import incremental
+
+            engine = engine or self.engine
+            report = incremental.collect_activity_incremental(
+                circuit, vectors, engine=engine)
+            power = report.average_power(vdd=self.vdd, freq=self.freq)
             return EstimateResult(power, f"{technique}/{engine}", "gate",
                                   cost=len(vectors) * circuit.gate_count())
         if technique == "event-driven":
@@ -219,3 +245,76 @@ class PowerEstimator:
                 "monte-carlo", "gate",
                 cost=result.vectors_used * circuit.gate_count())
         raise ValueError(f"unknown gate technique {technique!r}")
+
+    @_traced
+    def estimate_delta(self, base: Circuit, variant: Circuit,
+                       vectors: Sequence[Vector],
+                       engine: Optional[str] = None) -> EstimateResult:
+        """Re-estimate an edited ``variant`` against a cached ``base``.
+
+        Primes the process cone cache with the base circuit (free when
+        it is already resident) and evaluates the variant by
+        resimulating only the dirty cone — edited gates plus
+        transitive fanout, closed over latch feedback — splicing the
+        clean region's cached per-net activity.  The resulting power
+        is **bit-identical** to a full ``technique="simulation"``
+        estimate of the variant; the reported cost scales with the
+        dirty-net count instead of the gate count.
+        """
+        from repro.logic import incremental
+
+        engine = engine or self.engine
+        report, stats = incremental.estimate_delta(base, variant, vectors,
+                                                   engine=engine)
+        power = report.average_power(vdd=self.vdd, freq=self.freq)
+        if obs.enabled():
+            obs.inc("estimator.delta_reused_nets", stats.reused_nets)
+        return EstimateResult(
+            power, f"simulation-delta/{engine}", "gate",
+            cost=float(len(vectors) * max(1, stats.dirty_nets)))
+
+    def packed_stimulus(self, input_ports, streams,
+                        length: Optional[int] = None):
+        """Memoized :func:`repro.logic.fastsim.pack_streams`.
+
+        Repeated ``estimate`` calls over the same operand streams used
+        to repack the bit planes into input lanes every time; the memo
+        keys on each stream's content ``fingerprint()`` (plus ports
+        and length), so a mutated-then-invalidated stream repacks
+        while an untouched one is a dict hit.  Streams without a
+        fingerprint (plain word-list objects) are packed uncached.
+        """
+        from repro.logic.fastsim import pack_streams
+
+        try:
+            fps = tuple(s.fingerprint() for s in streams)
+        except AttributeError:
+            return pack_streams(input_ports, streams, length)
+        key = (tuple((p, w) for p, w in input_ports), fps, length)
+        packed = self._pack_cache.get(key)
+        if packed is not None:
+            self._pack_cache.move_to_end(key)
+            if obs.enabled():
+                obs.inc("estimator.pack_hits")
+            return packed
+        packed = pack_streams(input_ports, streams, length)
+        self._pack_cache[key] = packed
+        while len(self._pack_cache) > self.PACK_CACHE_ENTRIES:
+            self._pack_cache.popitem(last=False)
+        return packed
+
+    def component(self, component, streams,
+                  technique: str = "simulation",
+                  engine: Optional[str] = None,
+                  length: Optional[int] = None) -> EstimateResult:
+        """Gate-level estimate of an RTL component under word streams.
+
+        Packs the streams once per content fingerprint (see
+        :meth:`packed_stimulus`) and feeds the shared packed lanes to
+        :meth:`gate` — the repeated-evaluation shape every
+        optimization sweep has.
+        """
+        packed = self.packed_stimulus(component.input_ports, streams,
+                                      length)
+        return self.gate(component.circuit, packed, technique=technique,
+                         engine=engine)

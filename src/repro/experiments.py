@@ -70,6 +70,8 @@ EXPERIMENTS: List[Experiment] = [
                "bench_perf_serve.py", kind="perf"),
     Experiment("P7", "learned macromodels vs the fixed ladder (Pareto)",
                "bench_perf_learned.py", kind="perf"),
+    Experiment("P8", "incremental cone re-estimation vs full resim",
+               "bench_perf_incremental.py", kind="perf"),
 ]
 
 SUBSYSTEMS: List[Dict[str, str]] = [

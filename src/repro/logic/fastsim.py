@@ -36,6 +36,7 @@ scalar reference.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
@@ -43,7 +44,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
 
 from repro import obs
 from repro import store as artifact_store
-from repro.backend.core import Backend, BackendUnavailable, get_backend
+from repro.backend.core import Backend, BackendUnavailable, \
+    get_backend, resolve_engine
 from repro.logic import gates as gatelib
 from repro.logic.gates import GateSpec
 from repro.logic.netlist import Circuit
@@ -810,6 +812,120 @@ def net_words_backend(circuit: Circuit, vectors: Stimulus,
         for j, s in enumerate(slots):
             acc[j] = be.blit(acc[j], V[s] & mask, base)
     return dict(zip(wanted, (be.to_int(w) for w in acc))), n
+
+
+def net_words_engine(circuit: Circuit, vectors: Stimulus,
+                     nets: Optional[Sequence[str]] = None,
+                     initial_state: Optional[Dict[str, int]] = None,
+                     engine: Optional[str] = None
+                     ) -> Tuple[Dict[str, int], int]:
+    """:func:`net_words` behind the standard engine dispatch chain.
+
+    ``engine`` follows the framework convention:
+    ``"fast"|"numpy"|"reference"|"auto"`` (``None`` takes the
+    process default), with the documented degradation chain
+    numpy → fast → reference.  All three produce bit-identical
+    lanes; the reference path packs a scalar-simulation trace and
+    exists so incremental re-estimation can cross-check against the
+    slowest, most-trusted engine too.
+    """
+    from repro.logic.simulate import DEFAULT_ENGINE
+
+    resolved = resolve_engine(engine, DEFAULT_ENGINE,
+                              cycles=len(vectors),
+                              sequential=bool(circuit.latches))
+    if resolved == "numpy":
+        try:
+            return net_words_backend(circuit, vectors, nets=nets,
+                                     initial_state=initial_state)
+        except (CompileError, BackendUnavailable):
+            resolved = "fast"
+    if resolved == "fast":
+        try:
+            return net_words(circuit, vectors, nets=nets,
+                             initial_state=initial_state)
+        except CompileError:
+            pass
+    vecs = vectors.to_vectors() if isinstance(vectors, PackedVectors) \
+        else list(vectors)
+    from repro.logic.simulate import simulate as scalar_simulate
+    trace = scalar_simulate(circuit, vecs, initial_state)
+    wanted = list(nets) if nets is not None else circuit.nets
+    words = {net: 0 for net in wanted}
+    for t, values in enumerate(trace):
+        bit = 1 << t
+        for net in wanted:
+            if values[net]:
+                words[net] |= bit
+    return words, len(vecs)
+
+
+def lane_counts(word: int, n: int) -> Tuple[int, int, int]:
+    """Activity counts of one packed net lane over ``n`` cycles.
+
+    Returns ``(ones, toggles, last)`` under the framework's pinned
+    normalization: ``ones`` over all ``n`` cycles, ``toggles`` over
+    the ``n - 1`` cycle boundaries (bit 0 has no predecessor), plus
+    the final-cycle bit (used to count enable assertions over cycles
+    ``0..n-2`` for clock-capacitance accounting).  Matches
+    :func:`collect_activity`'s chunked accumulation exactly.
+    """
+    if n <= 0:
+        return 0, 0, 0
+    mask = (1 << n) - 1
+    w = word & mask
+    ones = w.bit_count()
+    toggles = ((w ^ (w << 1)) & mask & ~1).bit_count()
+    last = (w >> (n - 1)) & 1
+    return ones, toggles, last
+
+
+def stimulus_fingerprint(vectors: "PackedVectors") -> str:
+    """Content hash of a packed stimulus (hex, stable, memoized).
+
+    Covers the batch length and every input lane (order-insensitive:
+    names are hashed sorted).  Together with a cone fingerprint and an
+    engine name it keys the per-cone activity cache; it is also the
+    stimulus half of :func:`repro.store.activity_key`.  Memoized on
+    the object — ``PackedVectors`` is immutable by convention.
+    """
+    cached = getattr(vectors, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256(b"stimulus/1\x00")
+    h.update(str(vectors.n).encode("ascii"))
+    for name in sorted(vectors.words):
+        h.update(b"\x00")
+        h.update(name.encode("utf-8"))
+        h.update(b"=")
+        h.update(_lane_bytes(vectors.words[name], vectors.n))
+    digest = h.hexdigest()
+    vectors._fingerprint = digest
+    return digest
+
+
+def input_lane_hashes(vectors: "PackedVectors") -> Dict[str, bytes]:
+    """Per-input digest of each stimulus lane, memoized on the object.
+
+    The incremental engine mixes into each cone's cache key only the
+    lane hashes of the inputs in that cone's support, so editing (or
+    re-deriving) one input stream invalidates exactly the cones that
+    can observe it.
+    """
+    cached = getattr(vectors, "_lane_hashes", None)
+    if cached is not None:
+        return cached
+    hashes = {
+        name: hashlib.sha256(_lane_bytes(vectors.words[name], vectors.n)
+                             ).digest()
+        for name in vectors.words
+    }
+    vectors._lane_hashes = hashes
+    return hashes
+
+
+def _lane_bytes(word: int, n: int) -> bytes:
+    return (word & ((1 << n) - 1)).to_bytes((n + 7) // 8 or 1, "little")
 
 
 def output_trace(circuit: Circuit, vectors: Stimulus,

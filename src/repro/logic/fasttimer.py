@@ -707,3 +707,63 @@ def timed_activity(circuit: Circuit, vectors: Stimulus,
         events=events,
         glitches=glitches,
     )
+
+
+def timed_activity_cached(circuit: Circuit, vectors: Stimulus,
+                          workers: Optional[int] = None,
+                          engine: Optional[str] = None):
+    """Memoized :func:`timed_activity` (whole-run granularity).
+
+    Timed reports cannot be spliced per cone the way zero-delay
+    activity can — glitch waveforms on a dirty region's boundary nets
+    are not recoverable from settled lanes — so the incremental story
+    for the timed engine is run-level memoization: results are stored
+    in the shared :class:`~repro.store.ArtifactStore` (kind
+    ``"activity"``, schema ``repro.activity/1``) keyed by circuit
+    fingerprint, stimulus fingerprint, resolved engine, and batch
+    length.  Optimization sweeps that re-evaluate structurally
+    identical candidates (retiming's plain-vs-smart cuts, repeated
+    probes of one pipeline level) hit instead of resimulating; a
+    corrupt or wrong-schema entry degrades to a plain rerun.  Every
+    hit returns a *fresh* report (callers mutate reports in place).
+    ``workers`` affects only how a miss is computed — the report is
+    bit-identical either way, so it is not part of the key.
+    """
+    from repro.logic.simulate import ActivityReport
+
+    if not isinstance(vectors, PackedVectors):
+        try:
+            vectors = PackedVectors.from_vectors(circuit.inputs,
+                                                 list(vectors))
+        except KeyError:
+            return timed_activity(circuit, vectors, workers=workers,
+                                  engine=engine)
+    n = vectors.n
+    resolved = resolve_engine(engine, default_engine(), cycles=n,
+                              sequential=bool(circuit.latches))
+    key = artifact_store.activity_key(
+        circuit.fingerprint(), fastsim.stimulus_fingerprint(vectors),
+        f"timed/{resolved}", n)
+    st = artifact_store.get_store()
+    decoded = artifact_store.unpack_activity(
+        st.get(key, artifact_store.ACTIVITY_KIND))
+    if decoded is not None and decoded["cycles"] == n \
+            and set(decoded["nets"]) == set(circuit.nets):
+        if obs.enabled():
+            obs.inc("fasttimer.run_memo_hits")
+        return ActivityReport(
+            cycles=n,
+            toggles=dict(decoded["toggles"]),
+            ones=dict(decoded["ones"]),
+            switched_capacitance=decoded["switched"],
+            clock_capacitance=decoded["clock"],
+            events=decoded["events"],
+            glitches=decoded["glitches"],
+        )
+    report = timed_activity(circuit, vectors, workers=workers,
+                            engine=resolved)
+    st.put(key, artifact_store.ACTIVITY_KIND, artifact_store.pack_activity(
+        report.cycles, circuit.nets, report.toggles, report.ones,
+        report.switched_capacitance, report.clock_capacitance,
+        events=report.events, glitches=report.glitches))
+    return report

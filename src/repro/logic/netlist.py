@@ -72,6 +72,8 @@ class Circuit:
         self._fasttimer_plan: Optional[object] = None
         self._tick_grid: Optional[object] = None
         self._fingerprint_cache: Optional[Tuple[int, str]] = None
+        self._cone_fp_cache: Optional[Tuple[int, Dict[str, str]]] = None
+        self._cone_support_cache: Optional[Tuple[int, Dict[str, int]]] = None
         self._version: int = 0
 
     def invalidate(self) -> None:
@@ -166,6 +168,207 @@ class Circuit:
         yield ("wire:"
                + ":".join(repr(gatelib.wire_capacitance(k))
                           for k in (0, 1, 2, 4, 8)))
+
+    # ------------------------------------------------------------------
+    # Cone identity (incremental re-estimation)
+    # ------------------------------------------------------------------
+    def _cone_graph(self) -> Tuple[Dict[str, Tuple[str, ...]],
+                                   Dict[str, str]]:
+        """Net dependency graph plus a canonical line per driver.
+
+        Edges point from a net to the nets its driver reads (a latch
+        reads its data and, when present, its enable).  Nets that are
+        referenced but never driven are registered as free inputs so
+        malformed circuits still hash instead of raising here.
+        """
+        deps: Dict[str, Tuple[str, ...]] = {}
+        lines: Dict[str, str] = {}
+        for net in self.inputs:
+            deps[net] = ()
+            lines[net] = f"i:{net}"
+        for g in self.gates:
+            deps[g.output] = tuple(g.inputs)
+            lines[g.output] = f"g:{g.gate_type}:{','.join(g.inputs)}" \
+                f">{g.output}"
+        for l in self.latches:
+            read = (l.data,) if l.enable is None else (l.data, l.enable)
+            deps[l.output] = read
+            lines[l.output] = (f"l:{l.data}>{l.output}:{l.init}:"
+                               f"{l.enable or ''}:{int(l.clocked)}")
+        for net, read in list(deps.items()):
+            for d in read:
+                if d not in deps:
+                    deps[d] = ()
+                    lines[d] = f"i:{d}"
+        return deps, lines
+
+    def cone_fingerprints(self) -> Dict[str, str]:
+        """Per-net structural hash of the net's transitive fanin cone.
+
+        Two nets (in the same or different circuits) get equal cone
+        fingerprints exactly when the logic driving them is identical:
+        same driver cell/latch, same *net names* on every pin, and
+        recursively the same cones on every fanin — closed over latch
+        feedback (a feedback strongly-connected component is hashed as
+        a unit, so editing anywhere inside a loop dirties the whole
+        loop).  Unlike :meth:`fingerprint`, net names *matter* here:
+        the incremental engine matches cones between a base circuit
+        and an edited clone by name, so a renamed net is a different
+        cone.  Library capacitances are deliberately excluded — cached
+        lane values depend only on the logic function; switched
+        capacitance is recomputed against the variant's own loads.
+        Cached until the next structural mutation.
+        """
+        cached = getattr(self, "_cone_fp_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        deps, lines = self._cone_graph()
+        fps: Dict[str, str] = {}
+        for scc in _tarjan_sccs(deps):
+            if len(scc) == 1 and scc[0] not in deps[scc[0]]:
+                net = scc[0]
+                h = hashlib.sha256(b"cone/1\x00")
+                h.update(lines[net].encode("utf-8"))
+                for d in deps[net]:
+                    h.update(b"\x00")
+                    h.update(fps[d].encode("ascii"))
+                fps[net] = h.hexdigest()
+            else:
+                members = set(scc)
+                h = hashlib.sha256(b"cone-scc/1\x00")
+                for m in sorted(scc):
+                    h.update(lines[m].encode("utf-8"))
+                    for d in deps[m]:
+                        h.update(b"\x00")
+                        # Internal edges are covered by the member
+                        # lines (names included); external fanin by
+                        # its cone fingerprint.
+                        if d not in members:
+                            h.update(fps[d].encode("ascii"))
+                    h.update(b"\x01")
+                scc_hash = h.hexdigest()
+                for m in scc:
+                    fps[m] = hashlib.sha256(
+                        f"{scc_hash}|{m}".encode("utf-8")).hexdigest()
+        self._cone_fp_cache = (self._version, fps)
+        return fps
+
+    def cone_supports(self) -> Dict[str, int]:
+        """Per-net primary-input support, as a bitmask over ``inputs``.
+
+        Bit ``i`` of the mask for a net is set when ``self.inputs[i]``
+        is in the net's transitive fanin (closed over latch feedback).
+        The incremental engine combines this with per-input stimulus
+        lane hashes so a cone's cache key only depends on the inputs
+        it can actually observe.  Cached until the next mutation.
+        """
+        cached = getattr(self, "_cone_support_cache", None)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        deps, _ = self._cone_graph()
+        input_bit = {net: 1 << i for i, net in enumerate(self.inputs)}
+        masks: Dict[str, int] = {}
+        for scc in _tarjan_sccs(deps):
+            members = set(scc)
+            mask = 0
+            for m in scc:
+                mask |= input_bit.get(m, 0)
+                for d in deps[m]:
+                    if d not in members:
+                        mask |= masks[d]
+            for m in scc:
+                masks[m] = mask
+        self._cone_support_cache = (self._version, masks)
+        return masks
+
+    def diff_nets(self, other: "Circuit") -> Set[str]:
+        """Nets whose driving cones differ between ``self`` and ``other``.
+
+        Matches nets by name across the union of both net sets (a net
+        present on only one side always differs).  Because cone
+        fingerprints close over transitive fanin and latch feedback,
+        the result already contains the full fanin-side closure of
+        every edit; apply :meth:`transitive_fanout` to get the dirty
+        region for resimulation.
+        """
+        a = self.cone_fingerprints()
+        b = other.cone_fingerprints()
+        return {net for net in set(a) | set(b)
+                if a.get(net) != b.get(net)}
+
+    def transitive_fanout(self, nets: Iterable[str]) -> Set[str]:
+        """Seed nets plus everything reachable through consuming cells.
+
+        Follows gate inputs and latch data/enable pins, so the closure
+        crosses register boundaries (an edit feeding a flop dirties
+        the flop output and everything it feeds, around feedback
+        loops until a fixed point).  Primary-output membership adds
+        nothing — pads consume, they don't drive.
+        """
+        fanout = self.fanout_map()
+        seen: Set[str] = set()
+        stack = [n for n in nets]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            for consumer, _pin in fanout.get(net, ()):
+                if isinstance(consumer, (Gate, Latch)):
+                    out = consumer.output
+                    if out not in seen:
+                        stack.append(out)
+        return seen
+
+    def extract_cone(self, nets: Iterable[str],
+                     name: Optional[str] = None
+                     ) -> Tuple["Circuit", List[str]]:
+        """Sub-circuit re-driving ``nets``; returns ``(sub, boundary)``.
+
+        Every gate/latch whose output is in ``nets`` is replicated
+        verbatim (same instance and net names, same relative order, so
+        compiled-plan iteration order and latch init values are
+        preserved).  Nets the region reads but does not drive become
+        primary inputs of the sub-circuit — the returned ``boundary``
+        list (deterministic first-use order) — to be replayed from
+        cached traces.  Primary inputs of ``self`` that are in
+        ``nets`` stay primary inputs.  The caller is responsible for
+        passing a fanout-closed region (see :meth:`transitive_fanout`);
+        otherwise the replicated drivers would read stale boundary
+        values that full simulation would have recomputed.
+        """
+        region = set(nets)
+        sub = Circuit(name or f"{self.name}_cone")
+        ext: List[str] = []
+        ext_seen = set(region)
+        for g in self.gates:
+            if g.output in region:
+                for n in g.inputs:
+                    if n not in ext_seen:
+                        ext_seen.add(n)
+                        ext.append(n)
+        for l in self.latches:
+            if l.output in region:
+                for n in ((l.data,) if l.enable is None
+                          else (l.data, l.enable)):
+                    if n not in ext_seen:
+                        ext_seen.add(n)
+                        ext.append(n)
+        for n in self.inputs:
+            if n in region:
+                sub.add_input(n)
+        for n in ext:
+            sub.add_input(n)
+        for g in self.gates:
+            if g.output in region:
+                sub.add_gate(g.gate_type, list(g.inputs),
+                             output=g.output, name=g.name)
+        for l in self.latches:
+            if l.output in region:
+                sub.add_latch(l.data, output=l.output, init=l.init,
+                              name=l.name, enable=l.enable,
+                              clocked=l.clocked)
+        return sub, ext
 
     # ------------------------------------------------------------------
     # Portable serialization (job transport, store tooling)
@@ -453,3 +656,59 @@ class Circuit:
         return (f"Circuit({self.name!r}, in={len(self.inputs)}, "
                 f"out={len(self.outputs)}, gates={len(self.gates)}, "
                 f"latches={len(self.latches)})")
+
+
+def _tarjan_sccs(deps: Dict[str, Tuple[str, ...]]) -> List[List[str]]:
+    """Strongly connected components of a dependency graph, iterative.
+
+    Emits components in reverse topological order — every component
+    appears after all components it depends on — which is exactly the
+    evaluation order the cone hash and support computations need.
+    Iterative so deep combinational chains don't hit the recursion
+    limit (the same reason every BDD traversal in this repo is
+    iterative).
+    """
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = 0
+    for root in deps:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pin = work.pop()
+            if pin == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            descend = False
+            read = deps[node]
+            for i in range(pin, len(read)):
+                d = read[i]
+                if d not in index:
+                    work.append((node, i + 1))
+                    work.append((d, 0))
+                    descend = True
+                    break
+                if d in on_stack:
+                    low[node] = min(low[node], index[d])
+            if descend:
+                continue
+            if low[node] == index[node]:
+                scc: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+        # root finished; its component was emitted above.
+    return sccs

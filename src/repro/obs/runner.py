@@ -61,6 +61,7 @@ SMOKE_BENCHES = [
     "bench_perf_backends.py",
     "bench_perf_serve.py",
     "bench_perf_learned.py",
+    "bench_perf_incremental.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
@@ -68,7 +69,7 @@ SMOKE_BENCHES = [
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
                   "BENCH_eventsim.json", "BENCH_streams.json",
                   "BENCH_backends.json", "BENCH_serve.json",
-                  "BENCH_learned.json"]
+                  "BENCH_learned.json", "BENCH_incremental.json"]
 
 
 def default_repo_root() -> Path:

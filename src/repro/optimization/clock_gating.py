@@ -25,7 +25,7 @@ from repro.fsm.stg import STG
 from repro.fsm.synthesis import _cube_minterms, synthesize_fsm
 from repro.logic import gates as gatelib
 from repro.logic.netlist import Circuit
-from repro.logic.simulate import collect_activity, simulate
+from repro.logic.simulate import collect_activity
 from repro.logic.synthesis import InverterCache, synthesize_cover
 from repro.twolevel.quine_mccluskey import minimize
 
@@ -105,7 +105,10 @@ def build_gated_fsm(stg: STG, encoding: Optional[Encoding] = None,
 def evaluate_clock_gating(stg: STG, encoding: Optional[Encoding] = None,
                           cycles: int = 400, seed: int = 0,
                           bit_probs: Optional[Sequence[float]] = None,
-                          simplify_fraction: float = 1.0
+                          simplify_fraction: float = 1.0,
+                          engine: Optional[str] = None,
+                          incremental: bool = True,
+                          cross_check: bool = False
                           ) -> GatedClockReport:
     """Compare plain vs gated synthesis of the same machine.
 
@@ -115,24 +118,50 @@ def evaluate_clock_gating(stg: STG, encoding: Optional[Encoding] = None,
     load-enable latch model accounts for this automatically).  The
     combinational logic still sees input changes — clock gating stops
     the clock, not the datapath.
+
+    With ``incremental`` (the default) both measurements run through
+    the cone cache (:mod:`repro.logic.incremental`): across a
+    ``simplify_fraction`` sweep the plain machine and every cone the
+    edit doesn't reach are spliced from cache instead of resimulated,
+    bit-identically.  ``cross_check`` additionally reruns the full
+    engine and asserts exact equality (used by the bench gates).
     """
+    from repro.logic import incremental as inc
+    from repro.logic.fastsim import PackedVectors
+
     encoding = encoding or binary_encoding(stg)
     rng = random.Random(seed)
     probs = list(bit_probs) if bit_probs else [0.5] * stg.n_inputs
-    vectors = [{f"in{i}": int(rng.random() < probs[i])
-                for i in range(stg.n_inputs)} for _ in range(cycles)]
+    input_names = [f"in{i}" for i in range(stg.n_inputs)]
+    vectors = [{name: int(rng.random() < probs[i])
+                for i, name in enumerate(input_names)}
+               for _ in range(cycles)]
+    packed = PackedVectors.from_vectors(input_names, vectors)
+
+    def _activity(circuit):
+        if incremental:
+            return inc.collect_activity_incremental(circuit, packed,
+                                                    engine=engine)
+        return collect_activity(circuit, packed, engine=engine)
 
     plain = synthesize_fsm(stg, encoding)
-    plain_power = collect_activity(plain, vectors).average_power()
+    plain_power = _activity(plain).average_power()
 
     gated, fa_net = build_gated_fsm(stg, encoding,
                                     simplify_fraction=simplify_fraction)
     fa_gate_count = gated.gate_count() - plain.gate_count() - 1  # -INV
-    trace = simulate(gated, vectors)
-    idle_cycles = sum(v[fa_net] for v in trace)
+    gated_report = _activity(gated)
+    # Fa's ones count is the idle-cycle count — same number the old
+    # scalar `simulate` walk summed, without the extra simulation.
+    idle_cycles = gated_report.ones.get(fa_net, 0)
     idle_fraction = idle_cycles / max(1, cycles)
 
-    gated_report = collect_activity(gated, vectors)
+    if cross_check:
+        full = collect_activity(gated, packed, engine=engine)
+        if not inc.reports_equal(gated_report, full):
+            raise AssertionError("incremental gated-clock report "
+                                 "diverged from full resimulation")
+
     # The glitch-filter latch L rides the free-running clock.
     gated_report.clock_capacitance += \
         2.0 * gatelib.DFF_CLOCK_CAP * max(0, cycles - 1)

@@ -191,17 +191,51 @@ class GuardedEvalReport:
 
 
 def evaluate_guarded(circuit: Circuit, vectors: Sequence[Vector],
-                     min_cone: int = 3) -> Optional[GuardedEvalReport]:
-    """Apply the best guard candidate and measure the power effect."""
+                     min_cone: int = 3, top_k: int = 1,
+                     engine: Optional[str] = None,
+                     incremental: bool = True,
+                     cross_check: bool = False
+                     ) -> Optional[GuardedEvalReport]:
+    """Apply the best guard candidate and measure the power effect.
+
+    ``top_k > 1`` measures that many candidates and keeps the lowest-
+    power one instead of trusting the static ODC-coverage ranking.
+    With ``incremental`` (the default) each candidate's measurement
+    resimulates only its own guarded cone plus fanout — the rest of
+    the circuit (and the shared baseline) splices from the cone
+    cache, which is what makes wide candidate sweeps affordable.
+    ``cross_check`` reruns the winner on the full engine and asserts
+    exact equality.
+    """
+    from repro.logic import incremental as inc
+
     candidates = find_guard_candidates(circuit, min_cone=min_cone)
     if not candidates:
         return None
-    best = candidates[0]
-    guarded = apply_guarded_evaluation(circuit, best)
 
+    def _activity(c):
+        if incremental:
+            return inc.collect_activity_incremental(c, vectors,
+                                                    engine=engine)
+        return collect_activity(c, vectors, engine=engine)
+
+    p0 = _activity(circuit).average_power()
+    best = None
+    guarded = None
+    p1 = 0.0
+    for cand in candidates[:max(1, top_k)]:
+        variant = apply_guarded_evaluation(circuit, cand)
+        power = _activity(variant).average_power()
+        if best is None or power < p1:
+            best, guarded, p1 = cand, variant, power
+
+    from repro.logic.fastsim import PackedVectors
+
+    walk = vectors.to_vectors()[:50] \
+        if isinstance(vectors, PackedVectors) else vectors[:50]
     equivalent = True
     state = {l.output: l.init for l in guarded.latches}
-    for vec in vectors[:50]:
+    for vec in walk:
         ref = evaluate(circuit, vec)
         got = evaluate(guarded, vec, state)
         from repro.logic.simulate import next_state
@@ -211,6 +245,10 @@ def evaluate_guarded(circuit: Circuit, vectors: Sequence[Vector],
             equivalent = False
             break
 
-    p0 = collect_activity(circuit, vectors).average_power()
-    p1 = collect_activity(guarded, vectors).average_power()
+    if cross_check:
+        report = _activity(guarded)
+        full = collect_activity(guarded, vectors, engine=engine)
+        if not inc.reports_equal(report, full):
+            raise AssertionError("incremental guarded-eval report "
+                                 "diverged from full resimulation")
     return GuardedEvalReport(best, p0, p1, equivalent)

@@ -204,7 +204,10 @@ class PrecomputationReport:
 
 def evaluate_precomputation(circuit: Circuit, output: str,
                             subset_size: int,
-                            vectors: Sequence[Vector]
+                            vectors: Sequence[Vector],
+                            engine: Optional[str] = None,
+                            incremental: bool = True,
+                            cross_check: bool = False
                             ) -> PrecomputationReport:
     """Measure power before/after precomputation on the same stimulus.
 
@@ -212,7 +215,16 @@ def evaluate_precomputation(circuit: Circuit, output: str,
     both designs pay register+clock power); one pipeline cycle of
     latency is inherent to the architecture and excluded from the
     functional comparison (handled by the caller/tests).
+
+    With ``incremental`` (the default) both measurements go through
+    the cone cache: the registered baseline is identical across a
+    ``subset_size`` sweep (the predictor subset only shapes the
+    precomputed variant), so every sweep step after the first splices
+    it from cache, bit-identically.  ``cross_check`` reruns the full
+    engine and asserts exact equality.
     """
+    from repro.logic import incremental as inc
+
     predictors = best_subset(circuit, output, subset_size)
 
     # Baseline: registered inputs, always clocked.
@@ -229,6 +241,20 @@ def evaluate_precomputation(circuit: Circuit, output: str,
 
     precomputed = build_precomputed_circuit(circuit, output, predictors)
 
-    base_power = collect_activity(base, vectors).average_power()
-    pre_power = collect_activity(precomputed, vectors).average_power()
+    def _activity(c):
+        if incremental:
+            report = inc.collect_activity_incremental(c, vectors,
+                                                      engine=engine)
+        else:
+            report = collect_activity(c, vectors, engine=engine)
+        if cross_check:
+            full = collect_activity(c, vectors, engine=engine)
+            if not inc.reports_equal(report, full):
+                raise AssertionError(
+                    "incremental precomputation report diverged from "
+                    "full resimulation")
+        return report
+
+    base_power = _activity(base).average_power()
+    pre_power = _activity(precomputed).average_power()
     return PrecomputationReport(predictors.coverage, base_power, pre_power)

@@ -131,9 +131,23 @@ def respecify_controls(circuit: Circuit, vectors: Sequence[Vector],
 
 
 def evaluate_respecification(circuit: Circuit,
-                             vectors: Sequence[Vector]
+                             vectors: Sequence[Vector],
+                             engine: Optional[str] = None,
+                             incremental: bool = True,
+                             cross_check: bool = False
                              ) -> RespecificationReport:
-    """Respecify the control trace and measure the power effect."""
+    """Respecify the control trace and measure the power effect.
+
+    Both measurements use the same netlist under *different* stimuli.
+    With ``incremental`` (the default) they share the cone cache: cone
+    keys hash each cone's support-input lanes, so cones fed only by
+    data inputs (whose lanes the respecification leaves untouched)
+    splice from the first run and only the control-fed cones
+    resimulate.  ``cross_check`` reruns the full engine on the
+    respecified trace and asserts exact equality.
+    """
+    from repro.logic import incremental as inc
+
     new_vectors, controls, changed = respecify_controls(circuit, vectors)
 
     equivalent = True
@@ -144,8 +158,20 @@ def evaluate_respecification(circuit: Circuit,
             equivalent = False
             break
 
-    p0 = collect_activity(circuit, vectors).average_power()
-    p1 = collect_activity(circuit, new_vectors).average_power()
+    def _activity(vecs):
+        if incremental:
+            return inc.collect_activity_incremental(circuit, vecs,
+                                                    engine=engine)
+        return collect_activity(circuit, vecs, engine=engine)
+
+    p0 = _activity(vectors).average_power()
+    report1 = _activity(new_vectors)
+    if cross_check:
+        full = collect_activity(circuit, new_vectors, engine=engine)
+        if not inc.reports_equal(report1, full):
+            raise AssertionError("incremental respecification report "
+                                 "diverged from full resimulation")
+    p1 = report1.average_power()
     return RespecificationReport(
         controls=controls,
         changed_cycles=changed,

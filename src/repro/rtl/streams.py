@@ -41,8 +41,13 @@ class WordStream:
     words: List[int]
     width: int
     name: str = "stream"
-    _cache: Dict[str, Tuple[int, Any]] = field(
+    _cache: Dict[str, Tuple[int, int, Any]] = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    #: Bumped by :meth:`invalidate`; part of every cache entry's
+    #: validity, so invalidation can never be undone by restoring the
+    #: stream to its old length.
+    _version: int = field(default=0, init=False, repr=False,
+                          compare=False)
 
     def __post_init__(self) -> None:
         mask = (1 << self.width) - 1
@@ -58,15 +63,26 @@ class WordStream:
         return self.words[i]
 
     def invalidate(self) -> None:
-        """Drop cached packed representations after in-place edits."""
+        """Drop *every* cached derivation after in-place edits.
+
+        Clears all length-keyed entries — bit planes, the packed
+        word, and the content :meth:`fingerprint` — and bumps the
+        stream version so no stale entry can resurface (entries are
+        validated against both length and version).  The fingerprint
+        is the critical one: it keys the artifact-store bit-plane
+        round trip and the estimator's packed-stimulus memo, so a
+        stale fingerprint would serve another stream's cached lanes.
+        """
         self._cache.clear()
+        self._version += 1
 
     def _cached(self, key: str, build):
         entry = self._cache.get(key)
-        if entry is not None and entry[0] == len(self.words):
-            return entry[1]
+        if entry is not None and entry[0] == len(self.words) \
+                and entry[1] == self._version:
+            return entry[2]
         value = build()
-        self._cache[key] = (len(self.words), value)
+        self._cache[key] = (len(self.words), self._version, value)
         return value
 
     def fingerprint(self) -> str:

@@ -38,6 +38,7 @@ unwritable directory degrades to recompilation, never to an error.
 from __future__ import annotations
 
 import base64
+import hashlib
 import importlib.util
 import json
 import marshal
@@ -51,6 +52,8 @@ from typing import Any, Callable, Dict, Optional
 __all__ = [
     "SCHEMA", "ArtifactStore", "get_store", "set_store", "configure",
     "code_blob", "load_function",
+    "ACTIVITY_SCHEMA", "ACTIVITY_KIND", "activity_key",
+    "pack_activity", "unpack_activity",
     "ENV_DIR", "ENV_MAX_BYTES", "ENV_MEM_ENTRIES",
 ]
 
@@ -117,6 +120,110 @@ def load_function(blob: Dict[str, str], name: str) -> Callable:
     if not callable(fn):
         raise TypeError(f"store blob did not define callable {name!r}")
     return fn
+
+
+# ----------------------------------------------------------------------
+# Activity payloads (incremental re-estimation)
+# ----------------------------------------------------------------------
+#: Version tag of cached activity results (per-net toggle/ones counts
+#: and whole-run reports).  Bump on any layout change: payloads
+#: carrying another schema unpack to ``None`` — a plain miss — so a
+#: stale or corrupt entry degrades to resimulation, exactly like a
+#: corrupt plan degrades to recompilation.
+ACTIVITY_SCHEMA = "repro.activity/1"
+
+#: Store kind for activity results.  Two flavours share it: per-cone
+#: records keyed by :func:`repro.logic.incremental.cone_key` (counts
+#: plus optionally the packed lane for boundary replay) and whole-run
+#: reports keyed by :func:`activity_key`.
+ACTIVITY_KIND = "activity"
+
+
+def activity_key(circuit_fp: str, stimulus_fp: str, engine: str,
+                 cycles: int) -> str:
+    """Key for a whole-run activity result.
+
+    One sha256 over circuit structure, packed stimulus, engine name,
+    and batch length — everything an :class:`ActivityReport` depends
+    on.  Used for cross-process rerun hits (`estimate_delta` bases,
+    fasttimer's memoized timed runs).
+    """
+    h = hashlib.sha256(b"activity-run/1\x00")
+    for part in (circuit_fp, stimulus_fp, engine, str(cycles)):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def pack_activity(cycles: int, nets: list, toggles: Dict[str, int],
+                  ones: Dict[str, int], switched: float, clock: float,
+                  events: Optional[int] = None,
+                  glitches: Optional[int] = None,
+                  lanes: Optional[Dict[str, int]] = None
+                  ) -> Dict[str, Any]:
+    """JSON-able envelope of an activity result (``repro.activity/1``).
+
+    Counts are stored as parallel lists in ``nets`` order; lanes (for
+    boundary replay) as lowercase hex.  Floats round-trip exactly
+    through JSON (``repr`` round-trip), so an unpacked report stays
+    bit-identical to the one packed.
+    """
+    payload: Dict[str, Any] = {
+        "schema": ACTIVITY_SCHEMA,
+        "cycles": int(cycles),
+        "nets": list(nets),
+        "toggles": [int(toggles.get(n, 0)) for n in nets],
+        "ones": [int(ones.get(n, 0)) for n in nets],
+        "switched": float(switched),
+        "clock": float(clock),
+    }
+    if events is not None:
+        payload["events"] = int(events)
+    if glitches is not None:
+        payload["glitches"] = int(glitches)
+    if lanes is not None:
+        payload["lanes"] = {n: format(w, "x") for n, w in lanes.items()}
+    return payload
+
+
+def unpack_activity(payload: Optional[Dict[str, Any]]
+                    ) -> Optional[Dict[str, Any]]:
+    """Validate and decode a :func:`pack_activity` envelope.
+
+    Returns ``None`` — a miss — for anything malformed: wrong schema,
+    missing fields, length mismatches, undecodable lanes.  Callers
+    resimulate on a miss, so corruption degrades to recomputation and
+    never to a wrong report.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema") != ACTIVITY_SCHEMA:
+        return None
+    try:
+        cycles = int(payload["cycles"])
+        nets = list(payload["nets"])
+        toggles = [int(t) for t in payload["toggles"]]
+        ones = [int(o) for o in payload["ones"]]
+        if len(toggles) != len(nets) or len(ones) != len(nets):
+            return None
+        result: Dict[str, Any] = {
+            "cycles": cycles,
+            "nets": nets,
+            "toggles": dict(zip(nets, toggles)),
+            "ones": dict(zip(nets, ones)),
+            "switched": float(payload["switched"]),
+            "clock": float(payload["clock"]),
+            "events": (int(payload["events"])
+                       if payload.get("events") is not None else None),
+            "glitches": (int(payload["glitches"])
+                         if payload.get("glitches") is not None else None),
+        }
+        if "lanes" in payload:
+            result["lanes"] = {str(n): int(w, 16)
+                               for n, w in payload["lanes"].items()}
+        return result
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 # ----------------------------------------------------------------------
