@@ -39,6 +39,7 @@ from repro.estimation.learned.features import (
     window_features,
     window_slices,
 )
+from repro.util import seeding
 
 __all__ = [
     "WindowDataset", "StimulusRun",
@@ -59,9 +60,10 @@ POPULATION: List[Dict[str, Any]] = [
     {"name": "cmp_eq8", "component": "cmp_eq", "width": 8},
 ]
 
-#: Seed recurrence multiplier (any odd constant; fixed forever so old
-#: datasets stay reproducible).
-_SEED_STRIDE = 1000003
+#: Seed recurrence multiplier — kept as the canonical spawn-key
+#: stride in :mod:`repro.util.seeding` (fixed forever so old datasets
+#: stay reproducible; every derived-seed consumer now shares it).
+_SEED_STRIDE = seeding.STRIDE
 
 _STYLES = ("random", "biased", "ar1", "counter", "quiet")
 
@@ -136,7 +138,7 @@ class WindowDataset:
 
 
 def _run_seed(base: int, k: int) -> int:
-    return (base * _SEED_STRIDE + k) & 0x7FFFFFFF
+    return seeding.child_seed(base, k)
 
 
 # ----------------------------------------------------------------------

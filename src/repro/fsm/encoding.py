@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.backend.core import default_engine, numpy_or_none, \
     resolve_engine
@@ -189,98 +189,51 @@ class _WeightVectors:
         return delta
 
 
-def low_power_encoding(stg: STG,
-                       bit_probs: Optional[Sequence[float]] = None,
-                       n_bits: Optional[int] = None,
-                       seed: int = 0,
-                       anneal_steps: int = 4000,
-                       use_annealing: bool = True,
-                       engine: Optional[str] = None) -> Encoding:
-    """Probability-weighted hypercube embedding.
+def _anneal_restart(candidate, ctx):
+    """Search-pool job: one simulated-annealing run from the greedy
+    codes.
 
-    Greedy phase: states in decreasing total edge weight claim the free
-    code at minimum weighted Hamming distance from already-placed
-    neighbours.  Annealing phase: pairwise code swaps (including swaps
-    with unused codes) under a geometric cooling schedule.
+    ``candidate`` is ``(restart_index, seed)``; the shared greedy
+    embedding, pair weights and schedule ride ``ctx.extras`` (shipped
+    once per worker).  Returns ``(best_cost, best_codes)``; runs are
+    fully determined by their seed, so parallel restarts return
+    bit-identical results to the serial walk.
+    """
+    _k, run_seed = candidate
+    ex = ctx.extras
+    return _anneal(ex["states"], ex["weight"], ex["codes"], ex["free"],
+                   ex["bits"], run_seed, ex["anneal_steps"],
+                   ex["engine"])
 
-    Set ``use_annealing=False`` for the greedy-only ablation.  The
-    default packed engine evaluates candidate costs and swap deltas as
-    vectorized popcounts over the per-state transition-probability
-    vectors; ``engine="reference"`` keeps the scalar dict walks (the
-    two may differ on exact cost ties, as both are heuristics over
-    float scores that agree to round-off).  The vectorized path also
-    steps aside — to the identical-math scalar walks, not an error —
-    when numpy is missing or the codes exceed
-    :data:`repro.util.bits.MAX_UINT64_CODE_BITS`.
+
+def _anneal(states: Sequence[str],
+            weight: Dict[Tuple[str, str], float],
+            codes: Dict[str, int], free: Sequence[int], bits: int,
+            seed: Optional[int], anneal_steps: int,
+            engine: str) -> Tuple[float, Dict[str, int]]:
+    """Pairwise code-swap annealing under geometric cooling.
+
+    Extracted verbatim from the historical in-line loop so the RNG
+    stream (and hence every committed expected encoding) is
+    unchanged; shared by the single-run path and the parallel-restart
+    fan-out.
     """
     np = numpy_or_none()
-    bits = n_bits or min_bits(stg.n_states)
-    if (1 << bits) < stg.n_states:
-        raise ValueError("not enough code bits for the state count")
-    probs = transition_probabilities(stg, bit_probs)
-
-    # Symmetric weights between distinct states.
-    weight: Dict[Tuple[str, str], float] = {}
-    for (a, b), p in probs.items():
-        if a == b:
-            continue
-        key = (a, b) if a < b else (b, a)
-        weight[key] = weight.get(key, 0.0) + p
-
-    engine = resolve_engine(engine, default_engine())
     fast = engine != "reference" and bits <= MAX_UINT64_CODE_BITS \
         and np is not None
-    vectors = _WeightVectors(stg.states, weight) if fast else None
-
-    def w(a: str, b: str) -> float:
-        return weight.get((a, b) if a < b else (b, a), 0.0)
-
-    # ---- greedy constructive phase ----
-    totals = {s: 0.0 for s in stg.states}
-    for (a, b), p in weight.items():
-        totals[a] += p
-        totals[b] += p
-    order = sorted(stg.states, key=lambda s: -totals[s])
-    free = set(range(1 << bits))
-    codes: Dict[str, int] = {}
-    for state in order:
-        placed = [(other, codes[other]) for other in codes
-                  if w(state, other) > 0]
-        if not placed:
-            code = min(free)
-        elif fast:
-            candidates = sorted(free)
-            cand_arr = np.array(candidates, dtype=np.uint64)
-            placed_codes = np.array([c for _o, c in placed],
-                                    dtype=np.uint64)
-            weights = np.array([w(state, other) for other, _c in placed],
-                               dtype=np.float64)
-            costs = faststreams.popcount_array(
-                cand_arr[:, None] ^ placed_codes[None, :]) @ weights
-            code = candidates[int(np.argmin(costs))]
-        else:
-            def cost_of(candidate: int) -> float:
-                return sum(w(state, other)
-                           * _hamming(candidate, c)
-                           for other, c in placed)
-            code = min(free, key=cost_of)
-        codes[state] = code
-        free.discard(code)
+    vectors = _WeightVectors(states, weight) if fast else None
+    codes = dict(codes)
 
     def total_cost(assign: Dict[str, int]) -> float:
         if fast:
-            codes_arr = np.array([assign[s] for s in stg.states],
+            codes_arr = np.array([assign[s] for s in states],
                                  dtype=np.uint64)
             return vectors.total_cost(codes_arr)
         return sum(p * _hamming(assign[a], assign[b])
                    for (a, b), p in weight.items())
 
-    if not use_annealing:
-        return Encoding(codes, bits, "low-power-greedy")
-
-    # ---- simulated-annealing improvement ----
     rng = random.Random(seed)
-    states = list(stg.states)
+    states = list(states)
     pool = states + [None] * len(free)   # None slots are unused codes
     free_codes = sorted(free)
     codes_arr = np.array([codes[s] for s in states], dtype=np.uint64) \
@@ -328,7 +281,116 @@ def low_power_encoding(stg: STG,
         if current < best_cost - 1e-12:
             best_cost = current
             best = dict(codes)
-    return Encoding(best, bits, "low-power-annealed")
+    return best_cost, best
+
+
+def low_power_encoding(stg: STG,
+                       bit_probs: Optional[Sequence[float]] = None,
+                       n_bits: Optional[int] = None,
+                       seed: int = 0,
+                       anneal_steps: int = 4000,
+                       use_annealing: bool = True,
+                       engine: Optional[str] = None,
+                       restarts: int = 1,
+                       workers: Union[int, str, None] = None
+                       ) -> Encoding:
+    """Probability-weighted hypercube embedding.
+
+    Greedy phase: states in decreasing total edge weight claim the free
+    code at minimum weighted Hamming distance from already-placed
+    neighbours.  Annealing phase: pairwise code swaps (including swaps
+    with unused codes) under a geometric cooling schedule.
+
+    ``restarts > 1`` runs that many independent annealing chains from
+    the greedy embedding — restart ``k`` is seeded with the spawn key
+    ``seeding.child_seed(seed, k)`` (restart 0 keeps ``seed`` itself,
+    so the default single run reproduces the historical encoding) —
+    and keeps the lowest-cost result, ties broken by restart index.
+    ``workers`` fans the restarts over the shared search pool
+    (:mod:`repro.optimization.search`); the winner is identical for
+    any worker count.
+
+    Set ``use_annealing=False`` for the greedy-only ablation.  The
+    default packed engine evaluates candidate costs and swap deltas as
+    vectorized popcounts over the per-state transition-probability
+    vectors; ``engine="reference"`` keeps the scalar dict walks (the
+    two may differ on exact cost ties, as both are heuristics over
+    float scores that agree to round-off).  The vectorized path also
+    steps aside — to the identical-math scalar walks, not an error —
+    when numpy is missing or the codes exceed
+    :data:`repro.util.bits.MAX_UINT64_CODE_BITS`.
+    """
+    np = numpy_or_none()
+    bits = n_bits or min_bits(stg.n_states)
+    if (1 << bits) < stg.n_states:
+        raise ValueError("not enough code bits for the state count")
+    probs = transition_probabilities(stg, bit_probs)
+
+    # Symmetric weights between distinct states.
+    weight: Dict[Tuple[str, str], float] = {}
+    for (a, b), p in probs.items():
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        weight[key] = weight.get(key, 0.0) + p
+
+    engine = resolve_engine(engine, default_engine())
+    fast = engine != "reference" and bits <= MAX_UINT64_CODE_BITS \
+        and np is not None
+
+    def w(a: str, b: str) -> float:
+        return weight.get((a, b) if a < b else (b, a), 0.0)
+
+    # ---- greedy constructive phase ----
+    totals = {s: 0.0 for s in stg.states}
+    for (a, b), p in weight.items():
+        totals[a] += p
+        totals[b] += p
+    order = sorted(stg.states, key=lambda s: -totals[s])
+    free = set(range(1 << bits))
+    codes: Dict[str, int] = {}
+    for state in order:
+        placed = [(other, codes[other]) for other in codes
+                  if w(state, other) > 0]
+        if not placed:
+            code = min(free)
+        elif fast:
+            candidates = sorted(free)
+            cand_arr = np.array(candidates, dtype=np.uint64)
+            placed_codes = np.array([c for _o, c in placed],
+                                    dtype=np.uint64)
+            weights = np.array([w(state, other) for other, _c in placed],
+                               dtype=np.float64)
+            costs = faststreams.popcount_array(
+                cand_arr[:, None] ^ placed_codes[None, :]) @ weights
+            code = candidates[int(np.argmin(costs))]
+        else:
+            def cost_of(candidate: int) -> float:
+                return sum(w(state, other)
+                           * _hamming(candidate, c)
+                           for other, c in placed)
+            code = min(free, key=cost_of)
+        codes[state] = code
+        free.discard(code)
+
+    if not use_annealing:
+        return Encoding(codes, bits, "low-power-greedy")
+
+    # ---- simulated-annealing improvement ----
+    from repro.optimization import search
+    from repro.util import seeding
+
+    n_restarts = max(1, int(restarts))
+    run_seeds = [seed] + [seeding.child_seed(seed, k)
+                          for k in range(1, n_restarts)]
+    extras = {"states": list(stg.states), "weight": weight,
+              "codes": codes, "free": sorted(free), "bits": bits,
+              "anneal_steps": anneal_steps, "engine": engine}
+    results = search.evaluate_candidates(
+        _anneal_restart, list(enumerate(run_seeds)),
+        extras=extras, workers=workers, label="fsm_encoding")
+    best_i = min(range(n_restarts), key=lambda i: (results[i][0], i))
+    return Encoding(results[best_i][1], bits, "low-power-annealed")
 
 
 def _swap_delta(codes: Dict[str, int],

@@ -62,6 +62,7 @@ SMOKE_BENCHES = [
     "bench_perf_serve.py",
     "bench_perf_learned.py",
     "bench_perf_incremental.py",
+    "bench_perf_search.py",
 ]
 
 #: Perf-baseline files at the repo root and the result keys gated in
@@ -69,7 +70,8 @@ SMOKE_BENCHES = [
 BASELINE_FILES = ["BENCH_fastsim.json", "BENCH_bdd.json",
                   "BENCH_eventsim.json", "BENCH_streams.json",
                   "BENCH_backends.json", "BENCH_serve.json",
-                  "BENCH_learned.json", "BENCH_incremental.json"]
+                  "BENCH_learned.json", "BENCH_incremental.json",
+                  "BENCH_search.json"]
 
 
 def default_repo_root() -> Path:
@@ -92,7 +94,10 @@ def discover_benches(bench_dir: Path) -> List[Path]:
 # ----------------------------------------------------------------------
 def _child_env(bench_dir: Path, telemetry_path: Path,
                trace: bool, backend: Optional[str] = None,
-               store_dir: Optional[Path] = None) -> Dict[str, str]:
+               store_dir: Optional[Path] = None,
+               search_workers: Optional[str] = None,
+               cone_cache_bytes: Optional[int] = None
+               ) -> Dict[str, str]:
     env = dict(os.environ)
     src = Path(__file__).resolve().parents[2]
     env["PYTHONPATH"] = os.pathsep.join(
@@ -107,6 +112,10 @@ def _child_env(bench_dir: Path, telemetry_path: Path,
         env["REPRO_ENGINE"] = backend
     if store_dir is not None:
         env["REPRO_STORE"] = str(store_dir)
+    if search_workers is not None:
+        env["REPRO_SEARCH_WORKERS"] = str(search_workers)
+    if cone_cache_bytes is not None:
+        env["REPRO_CONE_CACHE_BYTES"] = str(cone_cache_bytes)
     return env
 
 
@@ -135,7 +144,9 @@ def _telemetry_digest(path: Path) -> Optional[Dict[str, Any]]:
 def run_bench(bench: Path, timeout: float, trace: bool = True,
               retries: int = 1,
               backend: Optional[str] = None,
-              store_dir: Optional[Path] = None) -> Dict[str, Any]:
+              store_dir: Optional[Path] = None,
+              search_workers: Optional[str] = None,
+              cone_cache_bytes: Optional[int] = None) -> Dict[str, Any]:
     """Run one bench file under pytest in a subprocess.
 
     Returns the BENCH_ALL entry: status in {ok, failed, timeout},
@@ -145,6 +156,10 @@ def run_bench(bench: Path, timeout: float, trace: bool = True,
     default-engine call sites run on that engine; ``store_dir``
     exports ``REPRO_STORE`` so all benches share one plan store (a
     structure compiled by any bench rehydrates in every other).
+    ``search_workers`` and ``cone_cache_bytes`` export
+    ``REPRO_SEARCH_WORKERS`` / ``REPRO_CONE_CACHE_BYTES`` so the
+    candidate-search pool width and cone-cache budget are sweep
+    configuration, recorded in BENCH_ALL alongside backend/store.
     """
     attempts = 0
     entry: Dict[str, Any] = {"bench": bench.name}
@@ -159,7 +174,8 @@ def run_bench(bench: Path, timeout: float, trace: bool = True,
                 proc = subprocess.run(
                     cmd, cwd=str(bench.parent), timeout=timeout,
                     env=_child_env(bench.parent, telemetry_path, trace,
-                                   backend, store_dir),
+                                   backend, store_dir, search_workers,
+                                   cone_cache_bytes),
                     stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
                     text=True)
                 duration = time.perf_counter() - start
@@ -244,7 +260,9 @@ def gate_regressions(baselines: Dict[str, Dict[str, Any]],
 def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
               trace: bool = True, retries: int = 1,
               progress=None, backend: Optional[str] = None,
-              store_dir: Optional[Path] = None
+              store_dir: Optional[Path] = None,
+              search_workers: Optional[str] = None,
+              cone_cache_bytes: Optional[int] = None
               ) -> Dict[str, Dict[str, Any]]:
     """Fan the benches out over a worker pool; collect every result."""
     results: Dict[str, Dict[str, Any]] = {}
@@ -254,7 +272,9 @@ def run_sweep(benches: Sequence[Path], jobs: int, timeout: float,
     def work(bench: Path) -> Dict[str, Any]:
         entry = run_bench(bench, timeout=timeout, trace=trace,
                           retries=retries, backend=backend,
-                          store_dir=store_dir)
+                          store_dir=store_dir,
+                          search_workers=search_workers,
+                          cone_cache_bytes=cone_cache_bytes)
         if progress is not None:
             progress(entry)
         return entry
@@ -332,6 +352,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-store", action="store_true",
                         help="run bench workers without a shared "
                              "plan store")
+    parser.add_argument("--search-workers", metavar="N", default=None,
+                        help="candidate-search pool width exported to "
+                             "bench workers as REPRO_SEARCH_WORKERS "
+                             "(an integer or 'auto')")
+    parser.add_argument("--cone-cache-bytes", metavar="BYTES",
+                        type=int, default=None,
+                        help="cone-cache budget exported to bench "
+                             "workers as REPRO_CONE_CACHE_BYTES")
     parser.add_argument("--no-gate", action="store_true",
                         help="report perf regressions but never fail "
                              "the exit code on them")
@@ -399,7 +427,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         results = run_sweep(benches, jobs=jobs, timeout=timeout,
                             trace=not args.no_trace, progress=progress,
-                            backend=args.backend, store_dir=store_dir)
+                            backend=args.backend, store_dir=store_dir,
+                            search_workers=args.search_workers,
+                            cone_cache_bytes=args.cone_cache_bytes)
     finally:
         if store_tmp is not None:
             store_tmp.cleanup()
@@ -413,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": not args.no_trace,
         "backend": args.backend,
         "store": str(store_dir) if store_dir else None,
+        "search_workers": args.search_workers,
+        "cone_cache_bytes": args.cone_cache_bytes,
         "tolerance": args.tolerance,
         "bench_dir": str(bench_dir),
         "wall_s": round(time.perf_counter() - started, 3),

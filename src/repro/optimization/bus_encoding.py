@@ -31,7 +31,7 @@ import math
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.backend.core import default_engine, numpy_or_none, \
     resolve_engine
@@ -543,6 +543,57 @@ def count_transitions(code: BusCode, stream: WordStream,
         prev = bus_value
     return BusReport(code.name, transitions, len(stream.words),
                      code.total_lines)
+
+
+def _count_job(code: BusCode, ctx) -> BusReport:
+    """Search-pool job: transition count for one candidate code."""
+    return count_transitions(code, ctx.stimulus("stream"),
+                             check_decode=ctx.extras["check_decode"],
+                             engine=ctx.engine)
+
+
+def default_survey_codes(width: int,
+                         stream: Optional[WordStream] = None,
+                         train_prefix: int = 800) -> List[BusCode]:
+    """The standard candidate set for :func:`survey_codes`.
+
+    One instance of every implemented code; the Beach code is trained
+    on the first ``train_prefix`` words of ``stream`` when given (its
+    clustering needs representative traffic before encoding).
+    """
+    beach = BeachCode(width)
+    if stream is not None and stream.words:
+        beach.train(stream.words[:train_prefix])
+    return [BinaryCode(width), BusInvertCode(width), GrayCode(width),
+            T0Code(width), T0BusInvertCode(width),
+            WorkingZoneCode(width, n_zones=4, offset_bits=4), beach]
+
+
+def survey_codes(stream: WordStream,
+                 codes: Optional[Sequence[BusCode]] = None,
+                 check_decode: bool = True,
+                 engine: Optional[str] = None,
+                 workers: Union[int, str, None] = None
+                 ) -> List[BusReport]:
+    """Count transitions for every candidate code over one stream.
+
+    The scheme-survey candidate loop: each code is an independent
+    candidate, fanned over the shared search pool
+    (:mod:`repro.optimization.search`) with the stream shipped once
+    per worker.  Reports come back in code order, bit-identical to a
+    serial :func:`count_transitions` walk.  Stateful codes (e.g. a
+    trained :class:`BeachCode`) are pickled with their state and reset
+    before encoding, exactly as the serial path does.
+    """
+    from repro.optimization import search
+
+    if codes is None:
+        codes = default_survey_codes(stream.width, stream)
+    return search.evaluate_candidates(
+        _count_job, list(codes),
+        stimuli={"stream": stream},
+        extras={"check_decode": check_decode},
+        workers=workers, engine=engine, label="bus_encoding")
 
 
 # ----------------------------------------------------------------------

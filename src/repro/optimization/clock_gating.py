@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.fsm.encoding import Encoding, binary_encoding
 from repro.fsm.stg import STG
@@ -108,7 +108,8 @@ def evaluate_clock_gating(stg: STG, encoding: Optional[Encoding] = None,
                           simplify_fraction: float = 1.0,
                           engine: Optional[str] = None,
                           incremental: bool = True,
-                          cross_check: bool = False
+                          cross_check: bool = False,
+                          workers: Union[int, str, None] = None
                           ) -> GatedClockReport:
     """Compare plain vs gated synthesis of the same machine.
 
@@ -123,53 +124,91 @@ def evaluate_clock_gating(stg: STG, encoding: Optional[Encoding] = None,
     the cone cache (:mod:`repro.logic.incremental`): across a
     ``simplify_fraction`` sweep the plain machine and every cone the
     edit doesn't reach are spliced from cache instead of resimulated,
-    bit-identically.  ``cross_check`` additionally reruns the full
-    engine and asserts exact equality (used by the bench gates).
+    bit-identically.  ``workers`` fans the plain/gated measurements
+    over the shared search pool.  ``cross_check`` additionally reruns
+    the full engine and asserts exact equality (used by the bench
+    gates).
     """
-    from repro.logic import incremental as inc
+    return sweep_clock_gating(stg, [simplify_fraction],
+                              encoding=encoding, cycles=cycles,
+                              seed=seed, bit_probs=bit_probs,
+                              engine=engine, incremental=incremental,
+                              cross_check=cross_check,
+                              workers=workers)[0]
+
+
+def gating_stimulus(stg: STG, cycles: int = 400, seed: int = 0,
+                    bit_probs: Optional[Sequence[float]] = None):
+    """The packed stimulus :func:`evaluate_clock_gating` draws."""
     from repro.logic.fastsim import PackedVectors
 
-    encoding = encoding or binary_encoding(stg)
     rng = random.Random(seed)
     probs = list(bit_probs) if bit_probs else [0.5] * stg.n_inputs
     input_names = [f"in{i}" for i in range(stg.n_inputs)]
     vectors = [{name: int(rng.random() < probs[i])
                 for i, name in enumerate(input_names)}
                for _ in range(cycles)]
-    packed = PackedVectors.from_vectors(input_names, vectors)
+    return PackedVectors.from_vectors(input_names, vectors)
 
-    def _activity(circuit):
-        if incremental:
-            return inc.collect_activity_incremental(circuit, packed,
-                                                    engine=engine)
-        return collect_activity(circuit, packed, engine=engine)
+
+def sweep_clock_gating(stg: STG, fractions: Sequence[float],
+                       encoding: Optional[Encoding] = None,
+                       cycles: int = 400, seed: int = 0,
+                       bit_probs: Optional[Sequence[float]] = None,
+                       engine: Optional[str] = None,
+                       incremental: bool = True,
+                       cross_check: bool = False,
+                       workers: Union[int, str, None] = None
+                       ) -> List[GatedClockReport]:
+    """One :class:`GatedClockReport` per ``simplify_fraction``.
+
+    The candidate loop of the pass: the plain machine plus every
+    gated variant are measured in a single fan-out over the shared
+    search pool (:mod:`repro.optimization.search`), so a wide
+    fraction sweep keeps all workers busy while the cone cache
+    splices the unchanged logic.  Reports are bit-identical to
+    calling :func:`evaluate_clock_gating` per fraction.
+    """
+    from repro.logic import incremental as inc
+    from repro.optimization import search
+
+    encoding = encoding or binary_encoding(stg)
+    packed = gating_stimulus(stg, cycles=cycles, seed=seed,
+                             bit_probs=bit_probs)
 
     plain = synthesize_fsm(stg, encoding)
-    plain_power = _activity(plain).average_power()
+    variants = [build_gated_fsm(stg, encoding, simplify_fraction=f)
+                for f in fractions]
+    reports = search.evaluate_candidates(
+        search.activity_job,
+        [plain] + [gated for gated, _fa in variants],
+        stimuli={"stimulus": packed},
+        extras={"incremental": incremental},
+        workers=workers, engine=engine, label="clock_gating")
+    plain_power = reports[0].average_power()
 
-    gated, fa_net = build_gated_fsm(stg, encoding,
-                                    simplify_fraction=simplify_fraction)
-    fa_gate_count = gated.gate_count() - plain.gate_count() - 1  # -INV
-    gated_report = _activity(gated)
-    # Fa's ones count is the idle-cycle count — same number the old
-    # scalar `simulate` walk summed, without the extra simulation.
-    idle_cycles = gated_report.ones.get(fa_net, 0)
-    idle_fraction = idle_cycles / max(1, cycles)
+    out: List[GatedClockReport] = []
+    for (gated, fa_net), gated_report in zip(variants, reports[1:]):
+        fa_gate_count = gated.gate_count() - plain.gate_count() - 1
+        # Fa's ones count is the idle-cycle count — same number the
+        # old scalar `simulate` walk summed, without the extra
+        # simulation.
+        idle_cycles = gated_report.ones.get(fa_net, 0)
+        idle_fraction = idle_cycles / max(1, cycles)
 
-    if cross_check:
-        full = collect_activity(gated, packed, engine=engine)
-        if not inc.reports_equal(gated_report, full):
-            raise AssertionError("incremental gated-clock report "
-                                 "diverged from full resimulation")
+        if cross_check:
+            full = collect_activity(gated, packed, engine=engine)
+            if not inc.reports_equal(gated_report, full):
+                raise AssertionError("incremental gated-clock report "
+                                     "diverged from full resimulation")
 
-    # The glitch-filter latch L rides the free-running clock.
-    gated_report.clock_capacitance += \
-        2.0 * gatelib.DFF_CLOCK_CAP * max(0, cycles - 1)
-    gated_power = gated_report.average_power()
-
-    return GatedClockReport(
-        idle_fraction=idle_fraction,
-        original_power=plain_power,
-        gated_power=gated_power,
-        fa_gates=max(0, fa_gate_count),
-    )
+        # The glitch-filter latch L rides the free-running clock.
+        gated_report.clock_capacitance += \
+            2.0 * gatelib.DFF_CLOCK_CAP * max(0, cycles - 1)
+        out.append(GatedClockReport(
+            idle_fraction=idle_fraction,
+            original_power=plain_power,
+            gated_power=gated_report.average_power(),
+            fa_gates=max(0, fa_gate_count),
+        ))
+    return out

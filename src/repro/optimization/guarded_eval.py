@@ -18,7 +18,7 @@ guard signal's settling time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.bdd import Bdd, BddManager
 from repro.logic.bdd_bridge import net_bdds
@@ -194,7 +194,8 @@ def evaluate_guarded(circuit: Circuit, vectors: Sequence[Vector],
                      min_cone: int = 3, top_k: int = 1,
                      engine: Optional[str] = None,
                      incremental: bool = True,
-                     cross_check: bool = False
+                     cross_check: bool = False,
+                     workers: Union[int, str, None] = None
                      ) -> Optional[GuardedEvalReport]:
     """Apply the best guard candidate and measure the power effect.
 
@@ -204,10 +205,14 @@ def evaluate_guarded(circuit: Circuit, vectors: Sequence[Vector],
     resimulates only its own guarded cone plus fanout — the rest of
     the circuit (and the shared baseline) splices from the cone
     cache, which is what makes wide candidate sweeps affordable.
+    ``workers`` fans the candidate measurements out over the shared
+    search pool (:mod:`repro.optimization.search`); the winner — and
+    every report — is bit-identical to the serial walk.
     ``cross_check`` reruns the winner on the full engine and asserts
     exact equality.
     """
     from repro.logic import incremental as inc
+    from repro.optimization import search
 
     candidates = find_guard_candidates(circuit, min_cone=min_cone)
     if not candidates:
@@ -219,13 +224,20 @@ def evaluate_guarded(circuit: Circuit, vectors: Sequence[Vector],
                                                     engine=engine)
         return collect_activity(c, vectors, engine=engine)
 
-    p0 = _activity(circuit).average_power()
+    chosen = candidates[:max(1, top_k)]
+    variants = [apply_guarded_evaluation(circuit, cand)
+                for cand in chosen]
+    reports = search.evaluate_candidates(
+        search.activity_job, [circuit] + variants,
+        stimuli={"stimulus": vectors},
+        extras={"incremental": incremental},
+        workers=workers, engine=engine, label="guarded_eval")
+    p0 = reports[0].average_power()
     best = None
     guarded = None
     p1 = 0.0
-    for cand in candidates[:max(1, top_k)]:
-        variant = apply_guarded_evaluation(circuit, cand)
-        power = _activity(variant).average_power()
+    for cand, variant, report in zip(chosen, variants, reports[1:]):
+        power = report.average_power()
         if best is None or power < p1:
             best, guarded, p1 = cand, variant, power
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bdd import Bdd, BddManager
 from repro.logic.bdd_bridge import net_bdds
@@ -202,12 +202,28 @@ class PrecomputationReport:
         return 1.0 - self.precomputed_power / self.original_power
 
 
+def registered_baseline(circuit: Circuit, output: str) -> Circuit:
+    """The always-clocked registered-input baseline of Fig. 6."""
+    base = Circuit(f"{circuit.name}_registered")
+    base.add_inputs(circuit.inputs)
+    rename: Dict[str, str] = {}
+    for i, net in enumerate(circuit.inputs):
+        rename[net] = base.add_latch(net, output=f"r{i}_q")
+    for gate in circuit.topological_gates():
+        ins = [rename[n] for n in gate.inputs]
+        rename[gate.output] = base.add_gate(gate.gate_type, ins)
+    base.add_gate("BUF", [rename[output]], output="f")
+    base.add_output("f")
+    return base
+
+
 def evaluate_precomputation(circuit: Circuit, output: str,
                             subset_size: int,
                             vectors: Sequence[Vector],
                             engine: Optional[str] = None,
                             incremental: bool = True,
-                            cross_check: bool = False
+                            cross_check: bool = False,
+                            workers: Union[int, str, None] = None
                             ) -> PrecomputationReport:
     """Measure power before/after precomputation on the same stimulus.
 
@@ -220,41 +236,53 @@ def evaluate_precomputation(circuit: Circuit, output: str,
     the cone cache: the registered baseline is identical across a
     ``subset_size`` sweep (the predictor subset only shapes the
     precomputed variant), so every sweep step after the first splices
-    it from cache, bit-identically.  ``cross_check`` reruns the full
-    engine and asserts exact equality.
+    it from cache, bit-identically.  ``workers`` fans the
+    measurements over the shared search pool.  ``cross_check`` reruns
+    the full engine and asserts exact equality.
+    """
+    return sweep_precomputation(circuit, output, [subset_size], vectors,
+                                engine=engine, incremental=incremental,
+                                cross_check=cross_check,
+                                workers=workers)[0]
+
+
+def sweep_precomputation(circuit: Circuit, output: str,
+                         subset_sizes: Sequence[int],
+                         vectors: Sequence[Vector],
+                         engine: Optional[str] = None,
+                         incremental: bool = True,
+                         cross_check: bool = False,
+                         workers: Union[int, str, None] = None
+                         ) -> List[PrecomputationReport]:
+    """One :class:`PrecomputationReport` per predictor subset size.
+
+    The candidate loop of the pass: the registered baseline plus one
+    precomputed variant per subset size, measured in a single fan-out
+    over the shared search pool (:mod:`repro.optimization.search`).
+    Reports are bit-identical to calling
+    :func:`evaluate_precomputation` per size.
     """
     from repro.logic import incremental as inc
+    from repro.optimization import search
 
-    predictors = best_subset(circuit, output, subset_size)
-
-    # Baseline: registered inputs, always clocked.
-    base = Circuit(f"{circuit.name}_registered")
-    base.add_inputs(circuit.inputs)
-    rename: Dict[str, str] = {}
-    for i, net in enumerate(circuit.inputs):
-        rename[net] = base.add_latch(net, output=f"r{i}_q")
-    for gate in circuit.topological_gates():
-        ins = [rename[n] for n in gate.inputs]
-        rename[gate.output] = base.add_gate(gate.gate_type, ins)
-    base.add_gate("BUF", [rename[output]], output="f")
-    base.add_output("f")
-
-    precomputed = build_precomputed_circuit(circuit, output, predictors)
-
-    def _activity(c):
-        if incremental:
-            report = inc.collect_activity_incremental(c, vectors,
-                                                      engine=engine)
-        else:
-            report = collect_activity(c, vectors, engine=engine)
-        if cross_check:
+    pairs = [best_subset(circuit, output, size)
+             for size in subset_sizes]
+    base = registered_baseline(circuit, output)
+    variants = [build_precomputed_circuit(circuit, output, predictors)
+                for predictors in pairs]
+    reports = search.evaluate_candidates(
+        search.activity_job, [base] + variants,
+        stimuli={"stimulus": vectors},
+        extras={"incremental": incremental},
+        workers=workers, engine=engine, label="precompute")
+    if cross_check:
+        for c, report in zip([base] + variants, reports):
             full = collect_activity(c, vectors, engine=engine)
             if not inc.reports_equal(report, full):
                 raise AssertionError(
                     "incremental precomputation report diverged from "
                     "full resimulation")
-        return report
-
-    base_power = _activity(base).average_power()
-    pre_power = _activity(precomputed).average_power()
-    return PrecomputationReport(predictors.coverage, base_power, pre_power)
+    base_power = reports[0].average_power()
+    return [PrecomputationReport(predictors.coverage, base_power,
+                                 report.average_power())
+            for predictors, report in zip(pairs, reports[1:])]

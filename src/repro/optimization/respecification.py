@@ -20,7 +20,7 @@ measures the power effect on the full netlist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.bdd import Bdd, BddManager
 from repro.logic.bdd_bridge import net_bdds
@@ -134,7 +134,8 @@ def evaluate_respecification(circuit: Circuit,
                              vectors: Sequence[Vector],
                              engine: Optional[str] = None,
                              incremental: bool = True,
-                             cross_check: bool = False
+                             cross_check: bool = False,
+                             workers: Union[int, str, None] = None
                              ) -> RespecificationReport:
     """Respecify the control trace and measure the power effect.
 
@@ -143,10 +144,14 @@ def evaluate_respecification(circuit: Circuit,
     keys hash each cone's support-input lanes, so cones fed only by
     data inputs (whose lanes the respecification leaves untouched)
     splice from the first run and only the control-fed cones
-    resimulate.  ``cross_check`` reruns the full engine on the
-    respecified trace and asserts exact equality.
+    resimulate.  ``workers`` fans the two trace measurements over the
+    shared search pool (the cone sharing then flows through the
+    sweep's disk store instead of process memory).  ``cross_check``
+    reruns the full engine on the respecified trace and asserts exact
+    equality.
     """
     from repro.logic import incremental as inc
+    from repro.optimization import search
 
     new_vectors, controls, changed = respecify_controls(circuit, vectors)
 
@@ -158,14 +163,13 @@ def evaluate_respecification(circuit: Circuit,
             equivalent = False
             break
 
-    def _activity(vecs):
-        if incremental:
-            return inc.collect_activity_incremental(circuit, vecs,
-                                                    engine=engine)
-        return collect_activity(circuit, vecs, engine=engine)
-
-    p0 = _activity(vectors).average_power()
-    report1 = _activity(new_vectors)
+    report0, report1 = search.evaluate_candidates(
+        search.activity_job,
+        [(circuit, "orig"), (circuit, "respec")],
+        stimuli={"orig": list(vectors), "respec": new_vectors},
+        extras={"incremental": incremental},
+        workers=workers, engine=engine, label="respecification")
+    p0 = report0.average_power()
     if cross_check:
         full = collect_activity(circuit, new_vectors, engine=engine)
         if not inc.reports_equal(report1, full):

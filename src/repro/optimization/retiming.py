@@ -18,7 +18,7 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 
@@ -340,10 +340,25 @@ def _cut_score(circuit: Circuit, scores: Dict[str, float],
     return killed, registers
 
 
+def _probe_level_job(threshold: int, ctx) -> float:
+    """Search-pool job: timed power of one pipeline-cut candidate.
+
+    The candidate netlist is rebuilt in the worker from the shipped
+    base circuit (cheap, deterministic) so jobs carry only an int;
+    :func:`timed_activity_cached` memoizes the timed run through the
+    sweep's shared activity store, so re-probed levels — by any
+    worker or the parent — splice instead of resimulating.
+    """
+    candidate, _n = pipeline_at_level(ctx.extras["circuit"], threshold)
+    return timed_activity_cached(candidate, ctx.stimulus("probe"),
+                                 engine=ctx.engine).average_power()
+
+
 def choose_low_power_level(circuit: Circuit, vectors: Sequence[Vector],
                            candidates: int = 3,
                            probe_vectors: int = 60,
-                           engine: Optional[str] = None) -> int:
+                           engine: Optional[str] = None,
+                           workers: Union[int, str, None] = None) -> int:
     """Boundary level chosen by the Monteiro rule, confirmed by timing
     simulation.
 
@@ -351,7 +366,9 @@ def choose_low_power_level(circuit: Circuit, vectors: Sequence[Vector],
     high glitching and high downstream load should receive registers
     on their outputs); the top candidates — always including the
     mid-depth baseline — are then measured with a short event-driven
-    probe and the lowest-power one wins.
+    probe and the lowest-power one wins.  ``workers`` fans the probe
+    measurements over the shared search pool; the chosen level is
+    bit-identical to the serial walk.
     """
     vectors = _packed_stimulus(circuit, vectors)
     scores = glitch_scores(circuit, vectors)
@@ -367,17 +384,18 @@ def choose_low_power_level(circuit: Circuit, vectors: Sequence[Vector],
                                for name, w in vectors.words.items()})
     else:
         probe = list(vectors[:probe_vectors])
-    shortlist = set(ranked[:candidates]) | {max(1, depth // 2)}
+    shortlist = sorted(set(ranked[:candidates]) | {max(1, depth // 2)})
+
+    from repro.optimization import search
+
+    powers = search.evaluate_candidates(
+        _probe_level_job, shortlist,
+        stimuli={"probe": probe},
+        extras={"circuit": circuit},
+        workers=workers, engine=engine, label="retiming")
     best_level = max(1, depth // 2)
     best_power = float("inf")
-    for threshold in sorted(shortlist):
-        candidate, _n = pipeline_at_level(circuit, threshold)
-        # Run-level memoized timed activity: re-probing a level the
-        # sweep already measured (or a level evaluate_power_retiming
-        # will re-time on the full stimulus) hits the activity store
-        # instead of resimulating.
-        power = timed_activity_cached(candidate, probe,
-                                      engine=engine).average_power()
+    for threshold, power in zip(shortlist, powers):
         if power < best_power:
             best_power = power
             best_level = threshold
@@ -402,7 +420,8 @@ class RetimingPowerReport:
 
 
 def evaluate_power_retiming(circuit: Circuit, vectors: Sequence[Vector],
-                            engine: Optional[str] = None
+                            engine: Optional[str] = None,
+                            workers: Union[int, str, None] = None
                             ) -> RetimingPowerReport:
     """Compare register placements: glitch-aware vs mid-depth cuts.
 
@@ -423,7 +442,8 @@ def evaluate_power_retiming(circuit: Circuit, vectors: Sequence[Vector],
     plain_power = timed_activity_cached(plain, vectors,
                                         engine=engine).average_power()
 
-    smart_level = choose_low_power_level(circuit, vectors, engine=engine)
+    smart_level = choose_low_power_level(circuit, vectors, engine=engine,
+                                         workers=workers)
     smart, smart_regs = pipeline_at_level(circuit, smart_level,
                                           name="smart_cut")
     smart_power = timed_activity_cached(smart, vectors,

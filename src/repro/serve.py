@@ -65,15 +65,21 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro import store as artifact_store
+from repro.util import seeding
 
 __all__ = ["EstimationServer", "Client", "run_job", "main",
-           "TECHNIQUES", "GENERATORS"]
+           "TECHNIQUES", "GENERATORS", "SEARCH_STREAMS"]
 
 #: Techniques a job may request (the gate/entropy subset of
 #: :class:`repro.core.estimator.PowerEstimator` — the ones that take a
-#: netlist + optional stimulus).
+#: netlist + optional stimulus — plus the batch candidate-search
+#: front-end over :mod:`repro.optimization.search`).
 TECHNIQUES = ("simulation", "event-driven", "probabilistic",
-              "monte-carlo", "entropy", "learned")
+              "monte-carlo", "entropy", "learned", "search")
+
+#: Address-stream generators a "search" job's bus survey may name
+#: (allowlist, same rationale as :data:`GENERATORS`).
+SEARCH_STREAMS = ("random", "sequential", "interleaved", "correlated")
 
 #: Circuit generators a job may name (allowlist; arbitrary callables
 #: never cross the wire).
@@ -120,6 +126,93 @@ def _build_circuit(spec: Dict[str, Any]):
         "circuit spec needs one of generator/netlist/blif")
 
 
+def _run_search(job: Dict[str, Any], cycles: int, seed,
+                engine) -> Dict[str, Any]:
+    """Execute one batch candidate-search job (technique "search").
+
+    Two allowlisted kinds: ``bus-survey`` fans every implemented bus
+    code over one address stream (:func:`survey_codes`), ``guarded``
+    measures the top-k guard candidates of a circuit
+    (:func:`evaluate_guarded`).  ``spec["workers"]`` sets the search
+    pool's width *inside* this job; the default (serial) is right for
+    batches, whose parallelism already comes from the serve pool.
+    """
+    from repro.logic import fastsim
+    from repro.optimization import bus_encoding
+    from repro.optimization import search
+    from repro.optimization.guarded_eval import evaluate_guarded
+
+    spec = job.get("search", {})
+    if not isinstance(spec, dict):
+        raise ValueError("search spec must be an object")
+    kind = spec.get("kind", "bus-survey")
+    workers = spec.get("workers")
+
+    if kind == "bus-survey":
+        width = int(spec.get("width", 12))
+        if not 1 <= width <= 32:
+            raise ValueError(f"bus width out of range: {width}")
+        stream_name = spec.get("stream", "random")
+        if stream_name not in SEARCH_STREAMS:
+            raise ValueError(f"unknown stream {stream_name!r}")
+        base_seed = 0 if seed is None else int(seed)
+        if stream_name == "sequential":
+            stream = bus_encoding.sequential_addresses(width, cycles)
+        elif stream_name == "interleaved":
+            stream = bus_encoding.interleaved_array_addresses(
+                width, cycles)
+        elif stream_name == "correlated":
+            stream = bus_encoding.correlated_block_addresses(
+                width, cycles, seed=base_seed)
+        else:
+            stream = bus_encoding.random_addresses(width, cycles,
+                                                   seed=base_seed)
+        reports = bus_encoding.survey_codes(stream, engine=engine,
+                                            workers=workers)
+        best = min(reports, key=lambda r: (r.transitions, r.code))
+        return {
+            "kind": kind,
+            "workers": search.resolve_workers(workers),
+            "results": [{"code": r.code,
+                         "transitions": r.transitions,
+                         "per_cycle": r.per_cycle,
+                         "lines": r.lines} for r in reports],
+            "best": best.code,
+            "power": best.per_cycle,
+        }
+
+    if kind == "guarded":
+        circuit = _build_circuit(job.get("circuit", {}))
+        vectors = fastsim.random_packed_vectors(
+            circuit.inputs, cycles, seed=seed)
+        if engine == "reference":
+            vectors = vectors.to_vectors()
+        top_k = max(1, int(spec.get("top_k", 3)))
+        report = evaluate_guarded(circuit, vectors, top_k=top_k,
+                                  engine=engine, workers=workers)
+        payload: Dict[str, Any] = {
+            "kind": kind,
+            "workers": search.resolve_workers(workers),
+            "fingerprint": circuit.fingerprint(),
+        }
+        if report is None:
+            payload.update(results=[], best=None, power=None)
+            return payload
+        payload.update(
+            results=[{"guard": report.candidate.guard,
+                      "guarded": report.candidate.guarded,
+                      "cone_gates": report.candidate.cone_gates}],
+            best=report.candidate.guard,
+            power=report.guarded_power,
+            original_power=report.original_power,
+            saving=report.saving,
+            equivalent=report.equivalent,
+        )
+        return payload
+
+    raise ValueError(f"unknown search kind {kind!r}")
+
+
 def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one estimation job; always returns a result dict.
 
@@ -143,6 +236,22 @@ def run_job(job: Dict[str, Any]) -> Dict[str, Any]:
             raise ValueError(f"cycles out of range: {cycles}")
         seed = job.get("seed")
         engine = job.get("engine")
+        if technique == "search":
+            payload = _run_search(job, cycles, seed, engine)
+            after = st.stats()
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            return {
+                "ok": True,
+                "technique": "search",
+                "cycles": cycles,
+                "elapsed_ms": round(elapsed_ms, 3),
+                "store_hits": (after["mem_hits"] + after["disk_hits"]
+                               - before["mem_hits"]
+                               - before["disk_hits"]),
+                "store_misses": after["misses"] - before["misses"],
+                "pid": os.getpid(),
+                **payload,
+            }
         circuit = _build_circuit(job.get("circuit", {}))
 
         estimator = PowerEstimator(vdd=float(job.get("vdd", 1.0)),
@@ -200,7 +309,10 @@ def _shard_jobs(job: Dict[str, Any]) -> List[Dict[str, Any]]:
     """
     shards = int(job.get("shards", 1) or 1)
     technique = job.get("technique", "simulation")
-    if shards <= 1 or technique in ("probabilistic", "monte-carlo"):
+    # "search" jobs are indivisible: their candidate fan-out happens
+    # inside the job (the search pool), not across stimulus shards.
+    if shards <= 1 or technique in ("probabilistic", "monte-carlo",
+                                    "search"):
         return [job]
     cycles = int(job.get("cycles", 256))
     shards = max(1, min(shards, cycles))
@@ -210,7 +322,11 @@ def _shard_jobs(job: Dict[str, Any]) -> List[Dict[str, Any]]:
     for k in range(shards):
         sub = dict(job)
         sub["cycles"] = min(per, cycles - k * per)
-        sub["seed"] = None if seed is None else int(seed) + 7919 * k
+        # Spawn-key seeds: the one derivation scheme shared with the
+        # learned characterization and the search pool
+        # (repro.util.seeding), replacing the old ad-hoc +7919*k walk.
+        sub["seed"] = None if seed is None \
+            else seeding.child_seed(int(seed), k)
         sub.pop("shards", None)
         subs.append(sub)
     return subs

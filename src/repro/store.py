@@ -246,6 +246,11 @@ class ArtifactStore:
         self.mem_entries = int(mem_entries)
         self._mem: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
+        # Bytes written since the last eviction scan; scanning the
+        # whole directory per put is O(N^2) across a population of
+        # per-net cone records, so the trim is amortized: the disk
+        # layer may overshoot max_bytes by one scan interval.
+        self._unscanned_bytes = 0
         self._counters = {
             "mem_hits": 0, "disk_hits": 0, "misses": 0,
             "puts": 0, "disk_evictions": 0, "corrupt": 0,
@@ -315,9 +320,16 @@ class ArtifactStore:
             path = self._path(key)
             tmp = path.with_name(
                 f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}")
-            tmp.write_text(json.dumps(envelope, sort_keys=True))
+            text = json.dumps(envelope, sort_keys=True)
+            tmp.write_text(text)
             os.replace(tmp, path)
-            self._evict_disk()
+            with self._lock:
+                self._unscanned_bytes += len(text)
+                due = self._unscanned_bytes >= self._scan_interval()
+                if due:
+                    self._unscanned_bytes = 0
+            if due:
+                self._evict_disk()
         except OSError:
             self._count("io_errors")
 
@@ -389,6 +401,11 @@ class ArtifactStore:
         except OSError:
             pass
         return payload
+
+    def _scan_interval(self) -> int:
+        """Bytes of fresh writes between eviction scans (also the
+        worst-case transient overshoot past ``max_bytes``)."""
+        return max(1, min(1 << 20, self.max_bytes // 8))
 
     def _evict_disk(self) -> None:
         """Trim the disk layer to ``max_bytes`` (oldest mtime first)."""
